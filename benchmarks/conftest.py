@@ -1,0 +1,111 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Every file in this directory regenerates one table or figure of the
+paper's evaluation (Section V).  Conventions:
+
+* Simulated latencies come from :func:`repro.bench.run_bulk_exchange`
+  with the data plane disabled (byte-exactness is covered by
+  ``tests/``; benchmarks only need the clock).
+* Each benchmark prints its paper-style table through the capture-
+  disabled console *and* writes it to ``benchmarks/results/<name>.txt``
+  so EXPERIMENTS.md can reference stable artifacts.
+* ``benchmark.pedantic`` wraps one representative configuration so
+  pytest-benchmark records harness wall time; the *scientific* numbers
+  are the simulated microseconds inside the tables.
+* Shape assertions (who wins, where crossovers fall) make each figure a
+  regression test of the reproduction, not just a printout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+import pytest
+
+from repro.bench import ExperimentResult, run_bulk_exchange
+from repro.core import FusionPolicy, KernelFusionScheme
+from repro.net import SystemConfig
+from repro.schemes import SCHEME_REGISTRY
+from repro.workloads import WORKLOADS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: benchmark-wide measurement settings (the paper uses 500 iters /
+#: 50 warm-up on hardware; the simulator is deterministic so steady
+#: state needs only a couple of iterations past the cache-warming one)
+ITERATIONS = 2
+WARMUP = 1
+
+
+def proposed_factory(
+    threshold_bytes: int = 512 * 1024,
+    capacity: int = 256,
+    name: Optional[str] = None,
+    **policy_kwargs,
+):
+    """Factory for the proposed scheme with a specific fusion policy."""
+
+    def factory(site, trace):
+        return KernelFusionScheme(
+            site,
+            trace,
+            policy=FusionPolicy(threshold_bytes=threshold_bytes, **policy_kwargs),
+            capacity=capacity,
+            name=name,
+        )
+
+    return factory
+
+
+def run_grid(
+    system: SystemConfig,
+    schemes: Dict[str, Callable],
+    workload: str,
+    dims: Sequence[int],
+    *,
+    nbuffers: int = 16,
+    rendezvous_protocol: str = "rput",
+) -> Dict[str, Dict[int, ExperimentResult]]:
+    """results[scheme][dim] over a workload's dimension sweep."""
+    results: Dict[str, Dict[int, ExperimentResult]] = {s: {} for s in schemes}
+    for dim in dims:
+        spec = WORKLOADS[workload](dim)
+        for name, factory in schemes.items():
+            results[name][dim] = run_bulk_exchange(
+                system,
+                factory,
+                spec,
+                nbuffers=nbuffers,
+                iterations=ITERATIONS,
+                warmup=WARMUP,
+                data_plane=False,
+                rendezvous_protocol=rendezvous_protocol,
+            )
+    return results
+
+
+def baseline_schemes(*names: str) -> Dict[str, Callable]:
+    """Pick registry schemes by name, preserving order."""
+    return {n: SCHEME_REGISTRY[n] for n in names}
+
+
+def best_speedup(results, scheme: str, over: str) -> float:
+    """Max speedup of ``scheme`` over ``over`` across the sweep."""
+    return max(
+        results[over][d].mean_latency / results[scheme][d].mean_latency
+        for d in results[scheme]
+    )
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a report through capture and persist it under results/."""
+
+    def emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return emit

@@ -1,0 +1,71 @@
+"""Extension — the paper's future work: more application workloads.
+
+§VII: "we plan to evaluate the proposed designs with more application
+workloads that involve bulk non-contiguous data transfer".  This bench
+runs the five additional ddtbench patterns (WRF, NAS_LU x/y, FFT2D,
+LAMMPS) through the same Lassen bulk-exchange methodology as Fig. 12
+and checks the paper's central prediction generalizes: wherever
+per-operation driver overhead is a significant share of the transfer
+(i.e. everything short of wire-bound messages), dynamic kernel fusion
+wins, with the biggest factors on the many-small-block layouts.
+"""
+
+import pytest
+
+from repro.bench import format_latency_table, run_bulk_exchange
+from repro.net import LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.workloads import WORKLOADS
+
+from conftest import ITERATIONS, WARMUP, best_speedup, proposed_factory
+
+SWEEPS = {
+    "WRF": [16, 32, 64],
+    "NAS_LU_x": [16, 32, 64],
+    "NAS_LU_y": [16, 32, 64],
+    "FFT2D": [64, 128, 256],
+    "LAMMPS_full": [256, 1024, 4096],
+}
+SCHEMES = {
+    "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
+    "GPU-Async": SCHEME_REGISTRY["GPU-Async"],
+    "CPU-GPU-Hybrid": SCHEME_REGISTRY["CPU-GPU-Hybrid"],
+    "Proposed": proposed_factory(),
+}
+
+
+def test_extended_workloads(benchmark, report):
+    chunks = []
+    speedups = {}
+    for workload, dims in SWEEPS.items():
+        grid = {name: {} for name in SCHEMES}
+        for dim in dims:
+            spec = WORKLOADS[workload](dim)
+            for name, factory in SCHEMES.items():
+                grid[name][dim] = run_bulk_exchange(
+                    LASSEN, factory, spec, nbuffers=16,
+                    iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
+                )
+        chunks.append(
+            format_latency_table(
+                grid,
+                title=f"Extension — {workload} on Lassen (32 nonblocking ops)",
+                baseline="GPU-Sync",
+            )
+        )
+        speedups[workload] = best_speedup(grid, "Proposed", "GPU-Sync")
+    report("extended_workloads", "\n\n".join(chunks))
+
+    # Fusion wins on every additional workload, several-fold where the
+    # messages are overhead-bound.
+    for workload, factor in speedups.items():
+        assert factor > 1.5, (workload, factor)
+    assert max(speedups.values()) > 3.0
+
+    benchmark.pedantic(
+        lambda: run_bulk_exchange(
+            LASSEN, SCHEMES["Proposed"], WORKLOADS["WRF"](32),
+            nbuffers=16, iterations=1, warmup=1, data_plane=False,
+        ),
+        rounds=1,
+    )

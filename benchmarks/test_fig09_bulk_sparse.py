@@ -1,0 +1,83 @@
+"""Fig. 9 — bulk inter-node transfer, sparse layout (specfem3D_cm), Lassen.
+
+Sweeps the number of exchanged buffers from 1 to 16 (the paper's bulk
+axis) at a representative dimension size, comparing the proposed
+dynamic kernel fusion against GPU-Sync, GPU-Async, and CPU-GPU-Hybrid.
+
+Expected shape (paper): the proposed design outperforms *every*
+existing scheme at *every* buffer count, with the gap growing as more
+buffers are exchanged (more kernels to fuse) — up to 5.9× at 16
+buffers.  Hybrid tracks GPU-Sync on sparse layouts (its CPU path is
+hopeless against thousands of tiny blocks, so it falls back to the
+kernel path plus its adaptive overhead).
+"""
+
+import pytest
+
+from repro.bench import format_latency_table
+from repro.net import LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.workloads import WORKLOADS
+
+from conftest import ITERATIONS, WARMUP, best_speedup, proposed_factory
+from repro.bench import run_bulk_exchange
+
+DIM = 1000
+NBUFFERS = [1, 2, 4, 8, 16]
+SCHEMES = {
+    "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
+    "GPU-Async": SCHEME_REGISTRY["GPU-Async"],
+    "CPU-GPU-Hybrid": SCHEME_REGISTRY["CPU-GPU-Hybrid"],
+    "Proposed": proposed_factory(),
+}
+
+
+def _run_all():
+    spec = WORKLOADS["specfem3D_cm"](DIM)
+    results = {name: {} for name in SCHEMES}
+    for nbuf in NBUFFERS:
+        for name, factory in SCHEMES.items():
+            results[name][nbuf] = run_bulk_exchange(
+                LASSEN, factory, spec, nbuffers=nbuf,
+                iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
+            )
+    return results
+
+
+def test_fig09_bulk_sparse_lassen(benchmark, report):
+    results = _run_all()
+    report(
+        "fig09_bulk_sparse",
+        format_latency_table(
+            results,
+            title=(
+                f"Fig. 9 — bulk sparse (specfem3D_cm dim={DIM}) on Lassen, "
+                "1-16 buffers"
+            ),
+            column_label="nbuf",
+            baseline="Proposed",
+        ),
+    )
+
+    # The proposed design wins at every buffer count...
+    for nbuf in NBUFFERS:
+        prop = results["Proposed"][nbuf].mean_latency
+        for other in ("GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid"):
+            assert prop < results[other][nbuf].mean_latency, (other, nbuf)
+
+    # ...and the advantage grows with the bulk size.
+    def gap(nbuf):
+        return results["GPU-Sync"][nbuf].mean_latency / results["Proposed"][nbuf].mean_latency
+
+    assert gap(16) > gap(1)
+    # Headline factor: several-fold at 16 buffers (paper: up to 5.9x).
+    assert gap(16) > 2.5
+    assert best_speedup(results, "Proposed", "CPU-GPU-Hybrid") > 2.5
+
+    benchmark.pedantic(
+        lambda: run_bulk_exchange(
+            LASSEN, SCHEMES["Proposed"], WORKLOADS["specfem3D_cm"](DIM),
+            nbuffers=16, iterations=1, warmup=1, data_plane=False,
+        ),
+        rounds=1,
+    )

@@ -1,0 +1,96 @@
+"""Fig. 10 — bulk inter-node transfer, dense layout (MILC), Lassen.
+
+Same bulk-size sweep as Fig. 9 but with the MILC nested-vector layout.
+
+Expected shape (paper):
+
+* **CPU-GPU-Hybrid can win for small dense messages** — its GDRCopy
+  path has zero GPU driver overhead, which beats even the fused design
+  when the messages are a couple of KB;
+* the proposed design still beats GPU-Sync and GPU-Async everywhere;
+* **GPU-Async performs worse than GPU-Sync** on Lassen: the per-op
+  event records/queries outweigh the overlap they buy on a fast
+  interconnect (§V-B).
+"""
+
+import pytest
+
+from repro.bench import format_latency_table, run_bulk_exchange
+from repro.net import LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.workloads import WORKLOADS
+
+from conftest import ITERATIONS, WARMUP, proposed_factory
+
+DIM_SMALL = 4   # ~1.5 KB messages: hybrid's GDRCopy sweet spot
+DIM = 16        # ~96 KB messages
+NBUFFERS = [1, 2, 4, 8, 16]
+SCHEMES = {
+    "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
+    "GPU-Async": SCHEME_REGISTRY["GPU-Async"],
+    "CPU-GPU-Hybrid": SCHEME_REGISTRY["CPU-GPU-Hybrid"],
+    "Proposed": proposed_factory(),
+}
+
+
+def _grid(dim):
+    spec = WORKLOADS["MILC"](dim)
+    results = {name: {} for name in SCHEMES}
+    for nbuf in NBUFFERS:
+        for name, factory in SCHEMES.items():
+            results[name][nbuf] = run_bulk_exchange(
+                LASSEN, factory, spec, nbuffers=nbuf,
+                iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
+            )
+    return results
+
+
+def test_fig10_bulk_dense_lassen(benchmark, report):
+    big = _grid(DIM)
+    small = _grid(DIM_SMALL)
+    text = format_latency_table(
+        big,
+        title=f"Fig. 10 — bulk dense (MILC dim={DIM}) on Lassen, 1-16 buffers",
+        column_label="nbuf",
+        baseline="Proposed",
+    ) + "\n\n" + format_latency_table(
+        small,
+        title=f"Fig. 10 (inset) — small dense (MILC dim={DIM_SMALL})",
+        column_label="nbuf",
+        baseline="Proposed",
+    )
+    report("fig10_bulk_dense", text)
+
+    for nbuf in NBUFFERS:
+        # Proposed beats both GPU-driven baselines at every bulk size.
+        prop = big["Proposed"][nbuf].mean_latency
+        assert prop < big["GPU-Sync"][nbuf].mean_latency
+        assert prop < big["GPU-Async"][nbuf].mean_latency
+        # GPU-Async loses to plain GPU-Sync on Lassen (§V-B).
+        if nbuf >= 4:
+            assert (
+                big["GPU-Async"][nbuf].mean_latency
+                > big["GPU-Sync"][nbuf].mean_latency
+            )
+
+    # Hybrid's zero-driver-overhead CPU path wins for small dense
+    # messages (it beats even the fused design until enough kernels
+    # accumulate for fusion to amortize — the Fig. 12(c) exception).
+    for nbuf in NBUFFERS:
+        assert (
+            small["CPU-GPU-Hybrid"][nbuf].mean_latency
+            < small["GPU-Sync"][nbuf].mean_latency
+        )
+    for nbuf in (1, 2, 4, 8):
+        assert (
+            small["CPU-GPU-Hybrid"][nbuf].mean_latency
+            < small["Proposed"][nbuf].mean_latency
+        ), nbuf
+
+    benchmark.pedantic(
+        lambda: run_bulk_exchange(
+            LASSEN, SCHEMES["Proposed"], WORKLOADS["MILC"](DIM),
+            nbuffers=16, iterations=1, warmup=1, data_plane=False,
+        ),
+        rounds=1,
+    )

@@ -1,0 +1,147 @@
+"""Fig. 12 — all four workloads across sizes on Lassen (32 ops).
+
+The paper's main per-system evaluation: 3-D-halo-style bulk exchanges
+(16 nonblocking sends + 16 nonblocking receives per rank) for every
+workload layout across dimension sizes, on the Lassen configuration.
+
+Expected shape (paper):
+
+* (a,b) sparse specfem3D layouts: the proposed design significantly
+  outperforms every baseline at every size — up to 8.5× / 7.1× / 8.9×
+  over Hybrid / GPU-Sync / GPU-Async;
+* (c) MILC: the one exception — CPU-GPU-Hybrid wins the *small* dense
+  sizes (GDRCopy, zero driver overhead);
+* (d) NAS_MG: proposed wins 1.4–5.8× with the factor shrinking as the
+  wire time starts to dominate at large faces.
+
+``Proposed-Tuned`` uses the per-workload best threshold from a small
+sweep (the paper's manually tuned variant).
+"""
+
+import pytest
+
+from repro.bench import format_latency_table, run_bulk_exchange
+from repro.net import LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.workloads import WORKLOADS
+
+from conftest import ITERATIONS, WARMUP, best_speedup, proposed_factory
+
+KiB = 1024
+SWEEPS = {
+    "specfem3D_oc": [500, 1000, 2000, 4000, 8000],
+    "specfem3D_cm": [250, 500, 1000, 2000, 4000],
+    "MILC": [2, 4, 8, 16, 32],
+    "NAS_MG": [32, 64, 128, 256],
+}
+TUNE_CANDIDATES = [128 * KiB, 256 * KiB, 512 * KiB]
+
+
+def _run(system, factory, workload, dim, nbuffers=16):
+    return run_bulk_exchange(
+        system, factory, WORKLOADS[workload](dim), nbuffers=nbuffers,
+        iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
+    )
+
+
+def tuned_threshold(system, workload, dim):
+    """Pick the best fusion threshold from a small sweep (tuning run)."""
+    best, best_lat = None, float("inf")
+    for threshold in TUNE_CANDIDATES:
+        lat = _run(system, proposed_factory(threshold), workload, dim).mean_latency
+        if lat < best_lat:
+            best, best_lat = threshold, lat
+    return best
+
+
+def run_figure(system):
+    """Shared by Fig. 12 (Lassen) and Fig. 13 (ABCI)."""
+    tables = {}
+    for workload, dims in SWEEPS.items():
+        mid = dims[len(dims) // 2]
+        tuned = tuned_threshold(system, workload, mid)
+        schemes = {
+            "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
+            "GPU-Async": SCHEME_REGISTRY["GPU-Async"],
+            "CPU-GPU-Hybrid": SCHEME_REGISTRY["CPU-GPU-Hybrid"],
+            "Proposed": proposed_factory(),
+            "Proposed-Tuned": proposed_factory(tuned, name="Proposed-Tuned"),
+        }
+        grid = {name: {} for name in schemes}
+        for dim in dims:
+            for name, factory in schemes.items():
+                grid[name][dim] = _run(system, factory, workload, dim)
+        tables[workload] = grid
+    return tables
+
+
+def check_figure_shape(tables, *, sparse_min_speedup):
+    """Assertions shared by figures 12 and 13."""
+    # (a, b): sparse layouts — proposed dominates everywhere.
+    for workload in ("specfem3D_oc", "specfem3D_cm"):
+        grid = tables[workload]
+        for dim in SWEEPS[workload]:
+            prop = grid["Proposed-Tuned"][dim].mean_latency
+            for other in ("GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid"):
+                assert prop < grid[other][dim].mean_latency, (workload, other, dim)
+        for other in ("GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid"):
+            assert best_speedup(grid, "Proposed-Tuned", other) > sparse_min_speedup, (
+                workload, other,
+            )
+
+    # (c): MILC small dense — hybrid is the winner (the one exception):
+    # it beats the proposed design outright at the smallest size and
+    # stays competitive at the next, before losing to fusion.
+    milc = tables["MILC"]
+    smallest, second = SWEEPS["MILC"][0], SWEEPS["MILC"][1]
+    assert (
+        milc["CPU-GPU-Hybrid"][smallest].mean_latency
+        < milc["Proposed"][smallest].mean_latency
+    )
+    assert (
+        milc["CPU-GPU-Hybrid"][second].mean_latency
+        < 1.3 * milc["Proposed"][second].mean_latency
+    )
+    # At larger MILC sizes the proposal takes over.
+    big = SWEEPS["MILC"][-1]
+    assert (
+        milc["Proposed-Tuned"][big].mean_latency
+        <= milc["CPU-GPU-Hybrid"][big].mean_latency
+    )
+
+    # (d): NAS — proposed wins with a shrinking factor at large faces.
+    nas = tables["NAS_MG"]
+    for dim in SWEEPS["NAS_MG"]:
+        assert (
+            nas["Proposed-Tuned"][dim].mean_latency
+            <= nas["GPU-Sync"][dim].mean_latency
+        )
+    small_gap = (
+        nas["GPU-Sync"][32].mean_latency / nas["Proposed-Tuned"][32].mean_latency
+    )
+    big_gap = (
+        nas["GPU-Sync"][256].mean_latency / nas["Proposed-Tuned"][256].mean_latency
+    )
+    assert small_gap > big_gap > 1.0
+
+
+def emit_tables(report, name, system_label, tables):
+    chunks = []
+    for workload, grid in tables.items():
+        chunks.append(
+            format_latency_table(
+                grid,
+                title=f"{name} — {workload} on {system_label} (32 nonblocking ops)",
+                baseline="GPU-Sync",
+            )
+        )
+    report(name.lower().replace(". ", "").replace(" ", "_"), "\n\n".join(chunks))
+
+
+def test_fig12_lassen(benchmark, report):
+    tables = run_figure(LASSEN)
+    emit_tables(report, "Fig12", "Lassen", tables)
+    check_figure_shape(tables, sparse_min_speedup=3.0)
+    benchmark.pedantic(
+        lambda: _run(LASSEN, proposed_factory(), "specfem3D_cm", 1000), rounds=1
+    )

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Jacobi 2-D solver: a complete mini-application on the library.
+
+The kind of physics code the paper's introduction motivates: an
+iterative 5-point stencil solving a Laplace boundary-value problem on a
+grid split **by columns** across two GPU ranks.  Every iteration:
+
+1. exchange boundary *columns* with the neighbor — non-contiguous
+   strided vectors, the Fig. 3 layout, through ``isend``/``irecv`` with
+   derived datatypes;
+2. run the stencil update (a real NumPy computation, plus a simulated
+   GPU kernel priced by the device's memory bandwidth);
+3. every few iterations, an ``allreduce`` convergence check.
+
+Because the data plane is byte-exact, the distributed result must match
+a serial NumPy reference bit-for-bit — asserted at the end — while the
+*simulated time* depends on the packing scheme, so the same application
+reports how much wall time dynamic kernel fusion would save it.
+
+Run:  python examples/jacobi2d.py
+"""
+
+import numpy as np
+
+from repro.datatypes import DOUBLE, Vector
+from repro.mpi import Runtime, allreduce
+from repro.net import Cluster, LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.sim import Simulator
+
+N = 64            # global grid is N x N
+ITERS = 60        # fixed iteration budget
+CHECK_EVERY = 10  # allreduce cadence
+
+
+def serial_reference() -> np.ndarray:
+    """Ground truth: the same Jacobi sweep on one full grid."""
+    grid = _initial_grid()
+    for _ in range(ITERS):
+        interior = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        grid = grid.copy()
+        grid[1:-1, 1:-1] = interior
+    return grid
+
+
+def _initial_grid() -> np.ndarray:
+    grid = np.zeros((N, N), dtype=np.float64)
+    grid[0, :] = 100.0          # hot top edge
+    grid[-1, :] = -25.0         # cold bottom edge
+    grid[:, 0] = np.linspace(100.0, -25.0, N)
+    grid[:, -1] = 50.0
+    return grid
+
+
+def run_distributed(scheme_name: str):
+    sim = Simulator()
+    cluster = Cluster(sim, LASSEN, nodes=2)
+    runtime = Runtime(sim, cluster, SCHEME_REGISTRY[scheme_name])
+    half = N // 2
+    # Local arrays: N rows x (half + 1 ghost column) on each side.
+    width = half + 1
+    column = Vector(N, 1, width, DOUBLE).commit()  # one strided column
+    full = _initial_grid()
+    locals_ = {}
+    for r in (0, 1):
+        rank = runtime.rank(r)
+        buf = rank.device.alloc(N * width * 8)
+        view = buf.view(np.float64).reshape(N, width)
+        if r == 0:
+            view[:, :half] = full[:, :half]   # ghost col at index `half`
+        else:
+            view[:, 1:] = full[:, half:]      # ghost col at index 0
+        locals_[r] = (buf, view)
+
+    residuals = []
+
+    def program(r):
+        rank = runtime.rank(r)
+        peer = 1 - r
+        buf, view = locals_[r]
+        own_slice = slice(0, half) if r == 0 else slice(1, width)
+        send_col = half - 1 if r == 0 else 1       # my boundary column
+        ghost_col = half if r == 0 else 0          # neighbor's column
+        for it in range(ITERS):
+            # 1. halo exchange of one strided column each way.
+            rreq = rank.irecv(buf, column, 1, peer, tag=it, offset=ghost_col * 8)
+            sreq = yield from rank.isend(
+                buf, column, 1, peer, tag=it, offset=send_col * 8
+            )
+            yield from rank.waitall([rreq, sreq])
+
+            # 2. stencil update (real bytes + simulated kernel time).
+            # Updatable local columns: everything interior to the
+            # *global* grid — up to (and including) the column next to
+            # the ghost, which reads the ghost as its neighbor.
+            old = view.copy()
+            lo = 1
+            hi = half if r == 0 else width - 1
+            interior = 0.25 * (
+                old[:-2, lo:hi] + old[2:, lo:hi]
+                + old[1:-1, lo - 1 : hi - 1] + old[1:-1, lo + 1 : hi + 1]
+            )
+            view[1:-1, lo:hi] = interior
+            arch = rank.device.arch
+            stencil_bytes = 5 * interior.nbytes
+            yield rank.device.default_stream.enqueue_callable(
+                arch.kernel_fixed_cost + stencil_bytes / arch.mem_bandwidth
+            )
+
+            # 3. periodic convergence check via allreduce(max).
+            if (it + 1) % CHECK_EVERY == 0:
+                local_res = float(np.abs(view[:, own_slice] - old[:, own_slice]).max())
+                reduced = yield from allreduce(
+                    rank, np.array([local_res]), op="max", tag_round=it
+                )
+                if r == 0:
+                    residuals.append(float(reduced[0]))
+
+    procs = [sim.process(program(0)), sim.process(program(1))]
+    sim.run(sim.all_of(procs))
+
+    # Stitch the distributed result back together.
+    result = np.empty((N, N), dtype=np.float64)
+    result[:, :half] = locals_[0][1][:, :half]
+    result[:, half:] = locals_[1][1][:, 1:]
+    return result, sim.now * 1e6, residuals
+
+
+def main() -> None:
+    reference = serial_reference()
+    print(f"Jacobi 2-D, {N}x{N} grid, {ITERS} iterations, "
+          "column-split across 2 Lassen GPUs\n")
+    for scheme in ("GPU-Sync", "GPU-Async", "Proposed"):
+        result, elapsed_us, residuals = run_distributed(scheme)
+        exact = np.array_equal(result, reference)
+        print(
+            f"  {scheme:<10}: {elapsed_us:9.1f} us simulated, "
+            f"residual {residuals[-1]:.4f}, "
+            f"matches serial reference: {exact}"
+        )
+        assert exact, "distributed result diverged from the reference!"
+    print("\nIdentical physics; only the communication time differs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: bulk non-contiguous exchange with dynamic kernel fusion.
+
+Builds the paper's motivating scenario in ~40 lines of user code:
+
+1. describe a non-contiguous boundary layout with an MPI derived
+   datatype (a strided vector — one face of a 3-D grid),
+2. run a bulk exchange of 16 such buffers between two simulated GPU
+   nodes of the Lassen system,
+3. compare the classic GPU-Sync scheme against the proposed dynamic
+   kernel fusion, and verify the delivered bytes are identical.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.datatypes import DOUBLE, Vector
+from repro.mpi import Runtime
+from repro.net import Cluster, LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.sim import Simulator
+
+NBUF = 16
+
+
+def exchange(scheme_name: str) -> float:
+    """One bulk exchange rank0 <-> rank1; returns the latency in µs."""
+    sim = Simulator()
+    cluster = Cluster(sim, LASSEN, nodes=2)
+    runtime = Runtime(sim, cluster, SCHEME_REGISTRY[scheme_name])
+
+    # One face of a 128^3 double grid: 128 strided runs of 128 doubles.
+    face = Vector(count=128, blocklength=128, stride=128 * 128, base=DOUBLE).commit()
+    layout = face.flatten()
+
+    ranks = [runtime.rank(0), runtime.rank(1)]
+    send = {r.rank_id: [r.device.alloc(layout.span) for _ in range(NBUF)] for r in ranks}
+    recv = {r.rank_id: [r.device.alloc(layout.span) for _ in range(NBUF)] for r in ranks}
+    rng = np.random.default_rng(0)
+    for bufs in send.values():
+        for buf in bufs:
+            buf.data[:] = rng.integers(0, 256, buf.nbytes)
+
+    def program(rank, peer):
+        requests = [
+            rank.irecv(recv[rank.rank_id][i], face, 1, peer, tag=i)
+            for i in range(NBUF)
+        ]
+        for i in range(NBUF):
+            sreq = yield from rank.isend(send[rank.rank_id][i], face, 1, peer, tag=i)
+            requests.append(sreq)
+        yield from rank.waitall(requests)
+
+    procs = [
+        sim.process(program(ranks[0], 1)),
+        sim.process(program(ranks[1], 0)),
+    ]
+    sim.run(sim.all_of(procs))
+
+    # Byte-exactness check — the simulated kernels really move data.
+    idx = layout.gather_index()
+    for me, peer in ((0, 1), (1, 0)):
+        for sbuf, rbuf in zip(send[peer], recv[me]):
+            assert np.array_equal(rbuf.data[idx], sbuf.data[idx])
+
+    return sim.now * 1e6
+
+
+def main() -> None:
+    print(f"Bulk exchange of {NBUF} non-contiguous faces (128^3 grid, Lassen)\n")
+    baseline = exchange("GPU-Sync")
+    fused = exchange("Proposed")
+    print(f"  GPU-Sync (one kernel + sync per buffer): {baseline:9.1f} us")
+    print(f"  Proposed (dynamic kernel fusion)       : {fused:9.1f} us")
+    print(f"\n  speedup: {baseline / fused:.2f}x — same bytes, fewer launches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""The three non-contiguous communication styles of Section III.
+
+Implements the paper's Algorithms 1–3 verbatim against the library's
+API and times them on the same 2-D halo exchange (Fig. 3):
+
+* **Algorithm 1** — MPI-level *explicit* pack/unpack: ``MPI_Pack`` each
+  boundary buffer (blocking!), send the packed bytes, ``MPI_Unpack`` on
+  arrival.  Productive-ish, but every pack/unpack synchronizes.
+* **Algorithm 2** — *application-level* kernels: the app launches its
+  own packing kernels, synchronizes once, then sends contiguous
+  buffers.  More code, one sync point, still no overlap with comms.
+* **Algorithm 3** — MPI-level *implicit* datatypes: hand the derived
+  datatype straight to ``isend``/``irecv`` and let the runtime schedule
+  packing.  Ten lines; with the fusion framework underneath it is also
+  the fastest — the paper's whole argument.
+
+Run:  python examples/usage_styles.py
+"""
+
+import numpy as np
+
+from repro.datatypes import DataLayout
+from repro.mpi import Runtime
+from repro.net import Cluster, LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.sim import Simulator
+from repro.workloads import halo_2d
+
+GRID = (96, 96)
+
+
+def _setup(scheme_name):
+    sim = Simulator()
+    cluster = Cluster(sim, LASSEN, nodes=2)
+    runtime = Runtime(sim, cluster, SCHEME_REGISTRY[scheme_name])
+    sched = halo_2d(GRID)
+    arrays = {}
+    for r in (0, 1):
+        buf = runtime.rank(r).device.alloc(sched.array_bytes)
+        buf.data[:] = np.random.default_rng(r).integers(0, 256, buf.nbytes)
+        arrays[r] = buf
+    return sim, runtime, sched, arrays
+
+
+def _tag(direction):
+    return hash(direction) % 10_000
+
+
+def algorithm1_explicit_pack(scheme_name="GPU-Sync"):
+    """MPI_Pack / send / recv / MPI_Unpack per neighbor (blocking)."""
+    sim, rt, sched, arrays = _setup(scheme_name)
+
+    def program(me, peer):
+        rank = rt.rank(me)
+        packed_s, packed_r, reqs = {}, {}, []
+        for n in sched.neighbors:
+            packed_r[n.direction] = rank.device.alloc(n.nbytes)
+            reqs.append(
+                rank.irecv(
+                    packed_r[n.direction], DataLayout.contiguous(n.nbytes), 1,
+                    peer, tag=_tag(n.direction),
+                )
+            )
+        for n in sched.neighbors:
+            packed_s[n.direction] = rank.device.alloc(n.nbytes)
+            # Blocking MPI_Pack: synchronizes per buffer (the problem).
+            yield from rank.pack(arrays[me], n.send_type, 1, packed_s[n.direction])
+            opposite = tuple(-d for d in n.direction)
+            sreq = yield from rank.isend(
+                packed_s[n.direction], DataLayout.contiguous(n.nbytes), 1,
+                peer, tag=_tag(opposite),
+            )
+            reqs.append(sreq)
+        yield from rank.waitall(reqs)
+        for n in sched.neighbors:
+            # Blocking MPI_Unpack per buffer.
+            yield from rank.unpack(packed_r[n.direction], n.recv_type, 1, arrays[me])
+
+    return _drive(sim, rt, program), sched, arrays
+
+
+def algorithm2_app_level_kernels(scheme_name="GPU-Async"):
+    """App-launched pack kernels, one sync, contiguous sends."""
+    sim, rt, sched, arrays = _setup(scheme_name)
+
+    def program(me, peer):
+        rank = rt.rank(me)
+        scheme = rank.scheme
+        packed_s, packed_r = {}, {}
+        handles = []
+        # Launch all packing kernels asynchronously (lines 1-5).
+        yield rank.cpu.request()
+        try:
+            for n in sched.neighbors:
+                packed_s[n.direction] = rank.device.alloc(n.nbytes)
+                op = rank.device.pack_op(
+                    arrays[me], n.send_type.flatten(), packed_s[n.direction]
+                )
+                handles.append((yield from scheme.submit(op)))
+            # Single synchronization point (line 6).
+            yield from scheme.flush()
+            yield from scheme.wait(handles)
+        finally:
+            rank.cpu.release()
+        # Contiguous sends/recvs (lines 7-11).
+        reqs = []
+        for n in sched.neighbors:
+            packed_r[n.direction] = rank.device.alloc(n.nbytes)
+            reqs.append(
+                rank.irecv(
+                    packed_r[n.direction], DataLayout.contiguous(n.nbytes), 1,
+                    peer, tag=_tag(n.direction),
+                )
+            )
+        for n in sched.neighbors:
+            opposite = tuple(-d for d in n.direction)
+            sreq = yield from rank.isend(
+                packed_s[n.direction], DataLayout.contiguous(n.nbytes), 1,
+                peer, tag=_tag(opposite),
+            )
+            reqs.append(sreq)
+        yield from rank.waitall(reqs)
+        # Unpack kernels + final sync (lines 12-17).
+        handles = []
+        yield rank.cpu.request()
+        try:
+            for n in sched.neighbors:
+                op = rank.device.unpack_op(
+                    packed_r[n.direction], n.recv_type.flatten(), arrays[me]
+                )
+                handles.append((yield from scheme.submit(op)))
+            yield from scheme.flush()
+            yield from scheme.wait(handles)
+        finally:
+            rank.cpu.release()
+
+    return _drive(sim, rt, program), sched, arrays
+
+
+def algorithm3_implicit_ddt(scheme_name="Proposed"):
+    """Derived datatypes straight into isend/irecv — ten lines."""
+    sim, rt, sched, arrays = _setup(scheme_name)
+
+    def program(me, peer):
+        rank = rt.rank(me)
+        reqs = [
+            rank.irecv(arrays[me], n.recv_type, 1, peer, tag=_tag(n.direction))
+            for n in sched.neighbors
+        ]
+        for n in sched.neighbors:
+            opposite = tuple(-d for d in n.direction)
+            sreq = yield from rank.isend(
+                arrays[me], n.send_type, 1, peer, tag=_tag(opposite)
+            )
+            reqs.append(sreq)
+        yield from rank.waitall(reqs)
+
+    return _drive(sim, rt, program), sched, arrays
+
+
+def _drive(sim, rt, program):
+    procs = [sim.process(program(0, 1)), sim.process(program(1, 0))]
+    sim.run(sim.all_of(procs))
+    return sim.now * 1e6
+
+
+def _verify(sched, arrays):
+    for me, peer in ((0, 1), (1, 0)):
+        for n in sched.neighbors:
+            opposite = next(
+                x for x in sched.neighbors if x.direction == tuple(-d for d in n.direction)
+            )
+            got = arrays[me].data[n.recv_type.flatten().gather_index()]
+            want = arrays[peer].data[opposite.send_type.flatten().gather_index()]
+            assert np.array_equal(got, want), n.direction
+
+
+def main() -> None:
+    print(f"2-D halo exchange ({GRID[0]}x{GRID[1]} doubles, 4 neighbors, Lassen)\n")
+    for label, fn in (
+        ("Algorithm 1: MPI explicit pack/unpack (GPU-Sync)", algorithm1_explicit_pack),
+        ("Algorithm 2: app-level kernels (GPU-Async)      ", algorithm2_app_level_kernels),
+        ("Algorithm 3: implicit DDT (Proposed fusion)     ", algorithm3_implicit_ddt),
+    ):
+        latency, sched, arrays = fn()
+        _verify(sched, arrays)
+        print(f"  {label}: {latency:9.1f} us")
+    print(
+        "\nSame ghost cells delivered each time; the implicit-datatype "
+        "style is both the shortest code and, with fusion, the fastest."
+    )
+
+
+if __name__ == "__main__":
+    main()

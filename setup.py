@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where the environment
+lacks the ``wheel`` package (offline clusters)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Benchmark harness: experiment runner + report formatting."""
+
+from .report import (
+    format_breakdown_table,
+    format_latency_table,
+    format_speedup_table,
+    speedup_matrix,
+)
+from .runner import ExperimentResult, run_bulk_exchange
+
+__all__ = [
+    "ExperimentResult",
+    "run_bulk_exchange",
+    "format_latency_table",
+    "format_breakdown_table",
+    "format_speedup_table",
+    "speedup_matrix",
+]

@@ -1,0 +1,126 @@
+"""Report formatting: print the paper's rows and series.
+
+Helpers that turn :class:`~repro.bench.runner.ExperimentResult` grids
+into the text tables the benchmark targets emit — one per paper figure.
+All latencies print in microseconds (the unit of Figs. 8–13);
+normalized comparisons (Fig. 14) print as speedup factors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.trace import Category
+from .runner import ExperimentResult
+
+__all__ = [
+    "format_latency_table",
+    "format_breakdown_table",
+    "format_speedup_table",
+    "speedup_matrix",
+]
+
+_US = 1e6
+
+
+def format_latency_table(
+    results: Dict[str, Dict[int, ExperimentResult]],
+    *,
+    title: str,
+    column_label: str = "dim",
+    baseline: Optional[str] = None,
+) -> str:
+    """Grid of mean latencies: rows = schemes, columns = sweep values.
+
+    ``results[scheme][column]``.  When ``baseline`` is given, a final
+    row reports the best-case speedup of each scheme over it.
+    """
+    schemes = list(results.keys())
+    columns = sorted({c for per in results.values() for c in per})
+    width = max(12, max(len(s) for s in schemes) + 2)
+    lines = [title, "=" * len(title)]
+    header = f"{'scheme':<{width}}" + "".join(
+        f"{column_label}={c:<12}" for c in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for scheme in schemes:
+        cells = []
+        for c in columns:
+            r = results[scheme].get(c)
+            cells.append(f"{r.mean_latency * _US:>10.2f}us  " if r else f"{'--':>12}")
+        lines.append(f"{scheme:<{width}}" + "".join(cells))
+    if baseline and baseline in results:
+        lines.append("-" * len(header))
+        for scheme in schemes:
+            if scheme == baseline:
+                continue
+            ratios = []
+            for c in columns:
+                r, b = results[scheme].get(c), results[baseline].get(c)
+                if r and b:
+                    ratios.append(b.mean_latency / r.mean_latency)
+            if ratios:
+                lines.append(
+                    f"{scheme:<{width}}speedup over {baseline}: "
+                    f"max {max(ratios):.1f}x, min {min(ratios):.1f}x"
+                )
+    return "\n".join(lines)
+
+
+def format_breakdown_table(
+    results: Sequence[ExperimentResult], *, title: str
+) -> str:
+    """Fig. 11-style table: one row per scheme, one column per bucket."""
+    cats = [Category.PACK, Category.LAUNCH, Category.SCHED, Category.SYNC, Category.COMM]
+    width = max(16, max(len(r.scheme) for r in results) + 2)
+    lines = [title, "=" * len(title)]
+    header = f"{'scheme':<{width}}" + "".join(f"{c.value:>12}" for c in cats) + f"{'total':>12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in results:
+        cells = "".join(f"{r.breakdown.get(c, 0.0) * _US:>10.2f}us" for c in cats)
+        lines.append(f"{r.scheme:<{width}}{cells}{r.mean_latency * _US:>10.2f}us")
+    return "\n".join(lines)
+
+
+def speedup_matrix(
+    results: Dict[str, Dict[int, ExperimentResult]], reference: str
+) -> Dict[str, Dict[int, float]]:
+    """Per-column speedup of every scheme relative to ``reference``.
+
+    The Fig. 14 normalization ("Normalized to SpectrumMPI; higher is
+    better").
+    """
+    out: Dict[str, Dict[int, float]] = {}
+    ref = results[reference]
+    for scheme, per in results.items():
+        out[scheme] = {
+            c: ref[c].mean_latency / r.mean_latency
+            for c, r in per.items()
+            if c in ref
+        }
+    return out
+
+
+def format_speedup_table(
+    results: Dict[str, Dict[int, ExperimentResult]],
+    reference: str,
+    *,
+    title: str,
+    column_label: str = "dim",
+) -> str:
+    """Fig. 14-style normalized table (higher is better)."""
+    matrix = speedup_matrix(results, reference)
+    columns = sorted({c for per in matrix.values() for c in per})
+    width = max(16, max(len(s) for s in matrix) + 2)
+    lines = [title, "=" * len(title)]
+    header = f"{'scheme':<{width}}" + "".join(f"{column_label}={c:<12}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for scheme, per in matrix.items():
+        cells = "".join(
+            f"{per[c]:>10.2f}x  " if c in per else f"{'--':>12}" for c in columns
+        )
+        lines.append(f"{scheme:<{width}}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, dependency-free front door for exploring the reproduction
+without writing a script:
+
+* ``compare``   — latency table of every scheme on one workload,
+* ``breakdown`` — the Fig. 11 five-bucket cost decomposition,
+* ``sweep``     — the Fig. 8 fusion-threshold sweep,
+* ``autotune``  — empirical + model-based threshold recommendations,
+* ``workloads`` — list the available workload generators,
+* ``describe``  — render a workload datatype's construction tree,
+* ``timeline``  — ASCII Gantt chart of one scheme's cost trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench import format_breakdown_table, format_latency_table, run_bulk_exchange
+from .core import KernelFusionScheme
+from .core.autotune import autotune_threshold, recommend_threshold
+from .core.fusion_policy import FusionPolicy
+from .net import SYSTEMS
+from .schemes import SCHEME_REGISTRY
+from .sim.timeline import render_timeline
+from .workloads import WORKLOADS
+
+__all__ = ["main"]
+
+KiB = 1024
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", default="specfem3D_cm", choices=sorted(WORKLOADS))
+    p.add_argument("--dim", type=int, default=1000, help="workload dimension size")
+    p.add_argument("--system", default="Lassen", choices=sorted(SYSTEMS))
+    p.add_argument("--nbuffers", type=int, default=16, help="buffers per direction")
+    p.add_argument("--iterations", type=int, default=3)
+
+
+def _run(args, scheme_factory):
+    return run_bulk_exchange(
+        SYSTEMS[args.system],
+        scheme_factory,
+        WORKLOADS[args.workload](args.dim),
+        nbuffers=args.nbuffers,
+        iterations=args.iterations,
+        warmup=1,
+        data_plane=False,
+    )
+
+
+def cmd_compare(args) -> int:
+    results = {}
+    for name, factory in SCHEME_REGISTRY.items():
+        if args.skip_production and name in ("SpectrumMPI", "OpenMPI"):
+            continue
+        results[name] = {args.dim: _run(args, factory)}
+    print(
+        format_latency_table(
+            results,
+            title=(
+                f"{args.workload} (dim={args.dim}, {args.nbuffers} buffers) "
+                f"on {args.system}"
+            ),
+            baseline="GPU-Sync",
+        )
+    )
+    return 0
+
+
+def cmd_breakdown(args) -> int:
+    rows = [
+        _run(args, SCHEME_REGISTRY[name])
+        for name in ("GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed")
+    ]
+    print(
+        format_breakdown_table(
+            rows,
+            title=(
+                f"Time breakdown — {args.workload} dim={args.dim}, "
+                f"{args.nbuffers} transfers, {args.system}"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    print(
+        f"Fusion-threshold sweep: {args.workload} dim={args.dim} on {args.system}\n"
+    )
+    print(f"{'threshold':>12}{'latency':>12}{'kernels':>9}{'mean batch':>12}")
+    for threshold in args.thresholds:
+        def factory(site, trace, _t=threshold * KiB):
+            return KernelFusionScheme(
+                site, trace, policy=FusionPolicy(threshold_bytes=_t)
+            )
+
+        result = _run(args, factory)
+        stats = result.scheduler_stats
+        print(
+            f"{threshold:>10}KB{result.mean_latency * 1e6:>10.1f}us"
+            f"{stats.launches:>9}{stats.mean_batch:>12.1f}"
+        )
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    spec = WORKLOADS[args.workload](args.dim)
+    system = SYSTEMS[args.system]
+    layout = spec.datatype.flatten().replicate(spec.count)
+    model = recommend_threshold(system.gpu_arch, layout)
+    print(f"model-based recommendation: {model // KiB} KB "
+          f"(§IV-C: fused time >= 2x launch overhead)\n")
+    result = autotune_threshold(system, spec, nbuffers=args.nbuffers)
+    print("empirical sweep:")
+    print(result.describe())
+    print(f"\nempirical best: {result.best_threshold // KiB} KB "
+          f"({result.best_latency * 1e6:.1f} us)")
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    for name in sorted(WORKLOADS):
+        spec = WORKLOADS[name](32 if name in ("MILC", "NAS_MG", "WRF", "NAS_LU_x", "NAS_LU_y") else 1000)
+        print(f"{name:<14} {spec.layout_class:<7} e.g. {spec.summary()}")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    from .datatypes import describe
+
+    spec = WORKLOADS[args.workload](args.dim)
+    print(spec.summary())
+    print()
+    print(describe(spec.datatype))
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    result = _run(args, SCHEME_REGISTRY[args.scheme])
+    print(
+        f"{args.scheme} on {args.workload} dim={args.dim} "
+        f"({result.mean_latency * 1e6:.1f} us/iteration)\n"
+    )
+    # Re-run one iteration with a kept trace for rendering.
+    from .mpi import Runtime
+    from .net import Cluster
+    from .sim import Simulator
+
+    sim = Simulator()
+    cluster = Cluster(sim, SYSTEMS[args.system], nodes=2, functional=False)
+    rt = Runtime(sim, cluster, SCHEME_REGISTRY[args.scheme])
+    spec = WORKLOADS[args.workload](args.dim)
+    layout = spec.datatype.flatten()
+    r0, r1 = rt.rank(0), rt.rank(1)
+    bufs = {r.rank_id: r.device.alloc(spec.buffer_bytes()) for r in (r0, r1)}
+
+    def program(rank, peer):
+        reqs = [rank.irecv(bufs[rank.rank_id], layout, 1, peer, tag=i)
+                for i in range(args.nbuffers)]
+        for i in range(args.nbuffers):
+            sreq = yield from rank.isend(bufs[rank.rank_id], layout, 1, peer, tag=i)
+            reqs.append(sreq)
+        yield from rank.waitall(reqs)
+
+    procs = [sim.process(program(r0, 1)), sim.process(program(r1, 0))]
+    sim.run(sim.all_of(procs))
+    print(render_timeline(r0.trace, width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Dynamic Kernel Fusion for Bulk Non-contiguous "
+            "Data Transfer on GPU Clusters' (CLUSTER 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="latency table of every scheme")
+    _add_common(p)
+    p.add_argument(
+        "--skip-production", action="store_true",
+        help="skip the (slow) SpectrumMPI/OpenMPI naive schemes",
+    )
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("breakdown", help="Fig. 11-style cost decomposition")
+    _add_common(p)
+    p.set_defaults(fn=cmd_breakdown)
+
+    p = sub.add_parser("sweep", help="Fig. 8-style threshold sweep")
+    _add_common(p)
+    p.add_argument(
+        "--thresholds", type=int, nargs="+",
+        default=[16, 64, 128, 256, 512, 1024, 2048, 4096],
+        help="thresholds in KB",
+    )
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("autotune", help="recommend a fusion threshold")
+    _add_common(p)
+    p.set_defaults(fn=cmd_autotune)
+
+    p = sub.add_parser("workloads", help="list workload generators")
+    p.set_defaults(fn=cmd_workloads)
+
+    p = sub.add_parser("describe", help="render a workload datatype tree")
+    p.add_argument("--workload", default="specfem3D_cm", choices=sorted(WORKLOADS))
+    p.add_argument("--dim", type=int, default=1000)
+    p.set_defaults(fn=cmd_describe)
+
+    p = sub.add_parser("timeline", help="ASCII cost timeline of one scheme")
+    _add_common(p)
+    p.add_argument("--scheme", default="Proposed", choices=sorted(SCHEME_REGISTRY))
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(fn=cmd_timeline)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Datatype introspection: envelopes and tree rendering.
+
+MPI exposes ``MPI_Type_get_envelope`` / ``MPI_Type_get_contents`` so
+tools can decode how a derived type was constructed.  This module
+provides the equivalent for our handles:
+
+* :func:`envelope` — the combiner name plus the constructor arguments
+  of one level (counts, strides, displacements, child handles);
+* :func:`describe` — a human-readable tree of the whole construction,
+  annotated with per-level size/extent and the flattened block shape,
+  used by debugging sessions and the test suite's error messages.
+
+Example::
+
+    >>> from repro.datatypes import Vector, DOUBLE, describe
+    >>> print(describe(Vector(3, 2, 5, DOUBLE)))
+    vector(count=3, blocklength=2, stride=5)  [size=48B extent=96B]
+    └─ double  [size=8B]
+       flattened: 3 blocks, mean 16 B, density 0.60
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from .base import Datatype
+from .constructors import (
+    Contiguous,
+    HIndexed,
+    Hvector,
+    Indexed,
+    IndexedBlock,
+    Resized,
+    Struct,
+    Subarray,
+    Vector,
+)
+from .primitives import Primitive
+
+__all__ = ["envelope", "describe"]
+
+
+def envelope(datatype: Datatype) -> Tuple[str, Dict[str, Any]]:
+    """One construction level: ``(combiner, arguments)``.
+
+    Child datatypes appear in the arguments under ``base`` or
+    ``types``; recurse with further :func:`envelope` calls, exactly
+    like chained ``MPI_Type_get_contents``.
+    """
+    if isinstance(datatype, Primitive):
+        return "named", {"name": datatype.name, "size": datatype.nbytes}
+    if isinstance(datatype, Contiguous):
+        return "contiguous", {"count": datatype.count, "base": datatype.base}
+    if isinstance(datatype, Vector):
+        return "vector", {
+            "count": datatype.count,
+            "blocklength": datatype.blocklength,
+            "stride": datatype.stride,
+            "base": datatype.base,
+        }
+    if isinstance(datatype, Hvector):
+        return "hvector", {
+            "count": datatype.count,
+            "blocklength": datatype.blocklength,
+            "stride_bytes": datatype.stride_bytes,
+            "base": datatype.base,
+        }
+    if isinstance(datatype, IndexedBlock):
+        return "indexed_block", {
+            "blocklength": int(datatype.blocklengths[0]) if len(datatype.blocklengths) else 0,
+            "displacements": datatype.displacements.tolist(),
+            "base": datatype.base,
+        }
+    if isinstance(datatype, HIndexed):
+        return "hindexed", {
+            "blocklengths": datatype.blocklengths.tolist(),
+            "displacements": datatype.displacements.tolist(),
+            "base": datatype.base,
+        }
+    if isinstance(datatype, Indexed):
+        return "indexed", {
+            "blocklengths": datatype.blocklengths.tolist(),
+            "displacements": datatype.displacements.tolist(),
+            "base": datatype.base,
+        }
+    if isinstance(datatype, Struct):
+        return "struct", {
+            "blocklengths": list(datatype.blocklengths),
+            "displacements": list(datatype.displacements),
+            "types": list(datatype.types),
+        }
+    if isinstance(datatype, Subarray):
+        return "subarray", {
+            "sizes": list(datatype.sizes),
+            "subsizes": list(datatype.subsizes),
+            "starts": list(datatype.starts),
+            "order": datatype.order,
+            "base": datatype.base,
+        }
+    if isinstance(datatype, Resized):
+        return "resized", {
+            "lb": datatype.lb,
+            "extent": datatype.extent,
+            "base": datatype.base,
+        }
+    raise TypeError(f"unknown datatype class {type(datatype).__name__}")
+
+
+def _args_text(combiner: str, args: Dict[str, Any]) -> str:
+    shown = []
+    for key, value in args.items():
+        if isinstance(value, Datatype) or key in ("base", "types"):
+            continue
+        if isinstance(value, list) and len(value) > 6:
+            value = f"[{value[0]}, {value[1]}, ... x{len(value)}]"
+        shown.append(f"{key}={value}")
+    return f"{combiner}({', '.join(shown)})"
+
+
+def describe(datatype: Datatype, *, _depth: int = 0, _prefix: str = "") -> str:
+    """Render the construction tree with sizes and flattened shape."""
+    combiner, args = envelope(datatype)
+    if combiner == "named":
+        head = f"{args['name']}  [size={args['size']}B]"
+    else:
+        head = (
+            f"{_args_text(combiner, args)}  "
+            f"[size={datatype.size}B extent={datatype.extent}B]"
+        )
+    lines = [head]
+
+    children = []
+    if "base" in args:
+        children = [args["base"]]
+    elif "types" in args:
+        children = list(dict.fromkeys(args["types"]))  # unique, ordered
+    for i, child in enumerate(children):
+        last = i == len(children) - 1
+        branch = "└─ " if last else "├─ "
+        cont = "   " if last else "│  "
+        sub = describe(child, _depth=_depth + 1)
+        sub_lines = sub.splitlines()
+        lines.append(_prefix + branch + sub_lines[0])
+        lines.extend(_prefix + cont + l for l in sub_lines[1:])
+
+    if _depth == 0:
+        flat = datatype.flatten()
+        lines.append(
+            f"   flattened: {flat.num_blocks} blocks, "
+            f"mean {flat.mean_block:.0f} B, density {flat.density:.2f}"
+        )
+    return "\n".join(lines)

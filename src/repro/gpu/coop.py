@@ -1,0 +1,100 @@
+"""Cooperative-group thread-block partitioning for fused kernels.
+
+The paper's fused kernel (Fig. 6) launches one grid and *partitions*
+its thread blocks among the queued requests using CUDA cooperative
+groups, so that
+
+* each request is executed by its own group of thread blocks (or a
+  fraction of one block for tiny requests — Fig. 6 shows 8 blocks
+  serving 16 requests),
+* each group synchronizes and signals completion independently — no
+  kernel-boundary synchronization,
+* the kernel's total time is the *maximum* over groups, not the sum,
+  because groups run concurrently on different SMs.
+
+:func:`partition` reproduces that arithmetic: it allocates block shares
+proportional to each request's bytes (minimum one fair share), prices
+each request with the kernel cost model under its allocation, and
+returns per-request completion offsets plus the fused kernel's total
+duration (one ``kernel_fixed_cost``, one launch for the whole batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .archs import GPUArchitecture
+from .kernels import KernelOp, kernel_compute_time
+
+__all__ = ["PartitionedRequest", "FusionPlan", "partition"]
+
+
+@dataclass(frozen=True)
+class PartitionedRequest:
+    """One request's share of a fused kernel."""
+
+    op: KernelOp
+    #: thread-block share allocated (may be fractional: cooperative
+    #: groups can split one block among several tiny requests)
+    block_share: float
+    #: seconds from kernel start until this request's group completes
+    completion_offset: float
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """The priced execution plan of one fused kernel."""
+
+    requests: List[PartitionedRequest]
+    #: thread blocks in the fused grid
+    grid_blocks: int
+    #: GPU-side duration of the whole fused kernel (max over groups)
+    total_duration: float
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes across all fused requests."""
+        return sum(r.op.nbytes for r in self.requests)
+
+
+def partition(
+    arch: GPUArchitecture,
+    ops: Sequence[KernelOp],
+    grid_blocks: Optional[int] = None,
+) -> FusionPlan:
+    """Partition a fused grid's thread blocks among ``ops``.
+
+    ``grid_blocks`` defaults to the architecture's saturation point
+    (enough blocks to reach peak memory bandwidth) — launching more
+    would add scheduling overhead without adding bandwidth.
+    """
+    if not ops:
+        raise ValueError("cannot partition an empty request batch")
+    if grid_blocks is None:
+        grid_blocks = arch.saturation_blocks
+    if grid_blocks < 1:
+        raise ValueError(f"grid_blocks must be >= 1, got {grid_blocks}")
+
+    weights = [max(op.nbytes, 1) for op in ops]
+    total_weight = float(sum(weights))
+    # Fair minimum share: a request never starves below an equal split
+    # of one block per... group; cooperative groups let one block serve
+    # several requests, so shares below 1.0 are legal.
+    min_share = min(1.0, grid_blocks / len(ops))
+
+    requests: List[PartitionedRequest] = []
+    longest = 0.0
+    for op, w in zip(ops, weights):
+        share = max(min_share, grid_blocks * w / total_weight)
+        offset = kernel_compute_time(
+            arch,
+            op.nbytes,
+            op.num_blocks,
+            op.mean_block,
+            grid_blocks=share,
+            include_fixed=True,
+        )
+        requests.append(PartitionedRequest(op=op, block_share=share, completion_offset=offset))
+        longest = max(longest, offset)
+    return FusionPlan(requests=requests, grid_blocks=grid_blocks, total_duration=longest)

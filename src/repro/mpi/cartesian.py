@@ -1,0 +1,153 @@
+"""Cartesian process topology (``MPI_Cart_create`` family).
+
+The paper's motivating applications decompose an n-D domain over a
+Cartesian process grid and halo-exchange with their topological
+neighbors (Fig. 3; LLNL Comb [33]).  This module provides the topology
+arithmetic an application needs to run that pattern on *any* number of
+ranks:
+
+* :class:`CartComm` — maps ranks ↔ grid coordinates (row-major, like
+  MPI), with optional per-dimension periodicity;
+* :meth:`CartComm.shift` — the ``MPI_Cart_shift`` neighbor query;
+* :meth:`CartComm.neighbor_exchanges` — the full halo schedule for one
+  rank: for every neighbor direction, the peer rank and the send/recv
+  :class:`~repro.datatypes.constructors.Subarray` types over the local
+  ghosted array, ready to feed
+  :func:`repro.mpi.collectives.neighbor_alltoall`.
+
+Boundary handling matches MPI: a non-periodic edge has no neighbor
+(``PROC_NULL``), and its exchanges are simply omitted from the
+schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..datatypes.primitives import DOUBLE, Primitive
+from ..workloads.halo import HaloSchedule, _build_schedule
+
+__all__ = ["PROC_NULL", "CartComm"]
+
+#: the MPI_PROC_NULL sentinel: no neighbor on a non-periodic boundary
+PROC_NULL = -1
+
+
+class CartComm:
+    """A Cartesian view over ranks ``0 .. prod(dims)-1`` (row-major)."""
+
+    def __init__(self, dims: Sequence[int], periods: Optional[Sequence[bool]] = None):
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError(f"invalid Cartesian dims {dims!r}")
+        self.dims: Tuple[int, ...] = tuple(int(d) for d in dims)
+        if periods is None:
+            periods = [False] * len(self.dims)
+        if len(periods) != len(self.dims):
+            raise ValueError("periods must match dims in length")
+        self.periods: Tuple[bool, ...] = tuple(bool(p) for p in periods)
+
+    @property
+    def ndim(self) -> int:
+        """Number of grid dimensions."""
+        return len(self.dims)
+
+    @property
+    def size(self) -> int:
+        """Total ranks in the grid."""
+        out = 1
+        for d in self.dims:
+            out *= d
+        return out
+
+    # -- rank <-> coordinates ------------------------------------------------
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of ``rank`` (``MPI_Cart_coords``)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside grid of {self.size}")
+        out = []
+        for extent in reversed(self.dims):
+            out.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(out))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Rank at ``coords`` (``MPI_Cart_rank``), honoring periodicity."""
+        if len(coords) != self.ndim:
+            raise ValueError("coordinate arity mismatch")
+        rank = 0
+        for c, extent, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                return PROC_NULL
+            rank = rank * extent + c
+        return rank
+
+    def shift(self, rank: int, dimension: int, displacement: int = 1) -> Tuple[int, int]:
+        """``MPI_Cart_shift``: (source, destination) of a shift."""
+        if not 0 <= dimension < self.ndim:
+            raise ValueError(f"dimension {dimension} outside {self.ndim}-D grid")
+        coords = list(self.coords(rank))
+        fwd = list(coords)
+        fwd[dimension] += displacement
+        back = list(coords)
+        back[dimension] -= displacement
+        return self.rank_of(back), self.rank_of(fwd)
+
+    def neighbor(self, rank: int, direction: Sequence[int]) -> int:
+        """Rank one step away in ``direction`` (entries in {-1, 0, 1})."""
+        coords = [c + d for c, d in zip(self.coords(rank), direction)]
+        return self.rank_of(coords)
+
+    # -- halo schedules ---------------------------------------------------------
+    def neighbor_exchanges(
+        self,
+        rank: int,
+        interior: Sequence[int],
+        *,
+        ghost: int = 1,
+        base: Primitive = DOUBLE,
+        corners: bool = True,
+    ) -> Tuple[HaloSchedule, List[Tuple[int, object, object]]]:
+        """This rank's halo exchange over an ``interior``-sized block.
+
+        Returns ``(schedule, exchanges)`` where ``exchanges`` is the
+        keyed ``(peer, send_type, recv_type, send_key, recv_key)`` list
+        accepted by :func:`repro.mpi.collectives.neighbor_alltoall`.
+        Keys are canonical direction indices, identical on every rank,
+        so a boundary rank's shorter schedule still pairs correctly:
+        the send toward direction *d* (key ``D(d)``) matches the peer's
+        receive for its *d*-facing ghost, which the peer posts with key
+        ``D(-d)`` — the direction as seen from the sender.  Directions
+        whose neighbor is ``PROC_NULL`` are omitted symmetrically.
+        """
+        if len(interior) != self.ndim:
+            raise ValueError("interior arity must match grid dimensionality")
+        schedule = _build_schedule(tuple(interior), ghost, corners, base)
+        by_dir = {n.direction: n for n in schedule.neighbors}
+        all_dirs = sorted(
+            d for d in itertools.product((-1, 0, 1), repeat=self.ndim)
+            if any(x != 0 for x in d)
+        )
+        key_of = {d: i for i, d in enumerate(all_dirs)}
+        exchanges: List[Tuple[int, object, object, int, int]] = []
+        for direction in sorted(by_dir):
+            peer = self.neighbor(rank, direction)
+            if peer == PROC_NULL:
+                continue
+            opposite = tuple(-d for d in direction)
+            exchanges.append(
+                (
+                    peer,
+                    by_dir[direction].send_type,      # my d-boundary out
+                    by_dir[direction].recv_type,      # my d-facing ghost in
+                    key_of[direction],                # tagged by my send dir
+                    key_of[opposite],                 # peer sent toward -d
+                )
+            )
+        return schedule, exchanges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        marks = "".join("p" if p else "-" for p in self.periods)
+        return f"<CartComm {'x'.join(map(str, self.dims))} [{marks}]>"

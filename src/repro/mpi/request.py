@@ -1,0 +1,126 @@
+"""MPI-style request objects.
+
+A :class:`Request` is returned by the nonblocking operations
+(``isend``/``irecv``) and consumed by ``wait``/``waitall``.  Its
+``completion`` simulation event fires when the MPI semantics are
+satisfied:
+
+* **send**: the user buffer is reusable (payload handed to the wire),
+* **recv**: the payload has been unpacked into the user buffer.
+
+Each request also carries its protocol bookkeeping — the pack/unpack
+:class:`~repro.schemes.base.OpHandle`, the staging buffer, and the
+matched :class:`~repro.mpi.matching.MessageRecord` — which the tests
+use to assert protocol behaviour (e.g. RPUT overlaps the handshake with
+packing).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from ..datatypes.layout import DataLayout
+from ..gpu.memory import GPUBuffer
+from ..schemes.base import OpHandle
+from ..sim.engine import Event, Simulator
+
+__all__ = ["RequestState", "Request", "SendRequest", "RecvRequest"]
+
+
+class RequestState(str, enum.Enum):
+    """Lifecycle of a request."""
+
+    ACTIVE = "active"
+    COMPLETE = "complete"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Request:
+    """Base nonblocking-operation handle."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rank: int,
+        peer: int,
+        tag: int,
+        layout: DataLayout,
+        user_buffer: GPUBuffer,
+        user_offset: int = 0,
+    ):
+        self.req_id = next(Request._ids)
+        self.sim = sim
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        self.layout = layout
+        self.user_buffer = user_buffer
+        self.user_offset = user_offset
+        self.completion: Event = Event(sim, name=f"req{self.req_id}:done")
+        #: pack/unpack handle once submitted to the scheme
+        self.op_handle: Optional[OpHandle] = None
+        #: staging buffer for the packed representation (None when the
+        #: layout is contiguous and staging is skipped)
+        self.staging: Optional[GPUBuffer] = None
+        self.issued_at = sim.now
+
+    @property
+    def state(self) -> RequestState:
+        """Current lifecycle state."""
+        return RequestState.COMPLETE if self.completion.processed else RequestState.ACTIVE
+
+    @property
+    def done(self) -> bool:
+        """True once MPI completion semantics are satisfied."""
+        return self.completion.processed
+
+    def test(self) -> bool:
+        """Nonblocking completion check (``MPI_Test``)."""
+        return self.done
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the message in bytes."""
+        return self.layout.size
+
+    def _complete(self) -> None:
+        if not self.completion.triggered:
+            self.completion.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} #{self.req_id} rank={self.rank} "
+            f"peer={self.peer} tag={self.tag} {self.state}>"
+        )
+
+
+class SendRequest(Request):
+    """Nonblocking send in flight."""
+
+    is_send = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: fires when the payload has fully left this rank
+        self.wire_done: Event = Event(self.sim, name=f"req{self.req_id}:wire")
+        #: protocol chosen by the runtime ("eager" | "rget" | "rput" | "direct")
+        self.protocol: str = ""
+
+
+class RecvRequest(Request):
+    """Nonblocking receive in flight."""
+
+    is_send = False
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: fires when payload bytes are available in the staging buffer
+        self.data_ready: Event = Event(self.sim, name=f"req{self.req_id}:data")
+        #: the matched incoming message, once matching succeeds
+        self.record = None  # type: Optional["MessageRecord"]

@@ -1,0 +1,64 @@
+"""Wire-transfer helpers: RDMA reads/writes and staged host copies.
+
+These generators are the payload-movement vocabulary of the MPI
+protocols:
+
+* :func:`rdma_write` / :func:`rdma_read` — one-sided GPUDirect-RDMA
+  moves between two ranks' GPU memories (the RPUT / RGET data paths);
+* :func:`staged_host_copy` — a device↔host staging move over a node's
+  CPU–GPU link (used by the hybrid scheme's host-packed sends).
+
+They advance the simulated clock only; the *byte* movement is performed
+by the caller at completion (the runtime copies packed bytes between
+simulated memories when the transfer event fires), keeping data state
+consistent with simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.engine import Event
+from .topology import Cluster
+
+__all__ = ["rdma_write", "rdma_read", "staged_host_copy"]
+
+
+def rdma_write(
+    cluster: Cluster, src: int, dst: int, nbytes: int
+) -> Generator[Event, None, float]:
+    """One-sided write of ``nbytes`` from ``src``'s GPU to ``dst``'s GPU.
+
+    Returns elapsed seconds (including queueing on the link).
+    """
+    link, direction = cluster.data_link(src, dst)
+    post = cluster.system.net_post_overhead
+    yield cluster.sim.timeout(post)
+    elapsed = yield from link.transmit(nbytes, direction)
+    return post + elapsed
+
+
+def rdma_read(
+    cluster: Cluster, reader: int, target: int, nbytes: int
+) -> Generator[Event, None, float]:
+    """One-sided read by ``reader`` of ``nbytes`` from ``target``'s GPU.
+
+    An RDMA-READ pays an extra one-way latency for the request
+    traversal before data starts flowing back (the RGET protocol's
+    well-known cost relative to RPUT).
+    """
+    link, direction = cluster.data_link(target, reader)
+    post = cluster.system.net_post_overhead
+    yield cluster.sim.timeout(post + link.control_delay())
+    elapsed = yield from link.transmit(nbytes, direction)
+    return post + link.control_delay() + elapsed
+
+
+def staged_host_copy(
+    cluster: Cluster, rank: int, nbytes: int, to_host: bool
+) -> Generator[Event, None, float]:
+    """Move ``nbytes`` between ``rank``'s GPU and its host staging area."""
+    site = cluster.site(rank)
+    direction = "d2h" if to_host else "h2d"
+    elapsed = yield from site.cpu_gpu_link.transmit(nbytes, direction)
+    return elapsed

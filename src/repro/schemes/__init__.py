@@ -1,0 +1,68 @@
+"""Datatype-processing schemes: the baselines the paper evaluates.
+
+The proposed design itself lives in :mod:`repro.core`; this package
+holds the scheme interface and every competitor, plus a registry used
+by the benchmark harness.
+"""
+
+from typing import Callable, Dict
+
+from ..net.topology import RankSite
+from ..sim.trace import Trace
+from .base import OpHandle, PackingScheme, SchemeCapabilities
+from .gpu_async import GPUAsyncScheme
+from .gpu_sync import GPUSyncScheme
+from .hybrid import CPUGPUHybridScheme
+from .mvapich_adaptive import MVAPICHAdaptiveScheme
+from .naive import NaiveCopyScheme
+
+__all__ = [
+    "PackingScheme",
+    "OpHandle",
+    "SchemeCapabilities",
+    "GPUSyncScheme",
+    "GPUAsyncScheme",
+    "CPUGPUHybridScheme",
+    "MVAPICHAdaptiveScheme",
+    "NaiveCopyScheme",
+    "SCHEME_REGISTRY",
+    "make_scheme_factory",
+]
+
+
+def _spectrum_factory(site: RankSite, trace: Trace) -> PackingScheme:
+    return NaiveCopyScheme(site, trace, per_copy_factor=1.0, name="SpectrumMPI")
+
+
+def _openmpi_factory(site: RankSite, trace: Trace) -> PackingScheme:
+    return NaiveCopyScheme(site, trace, per_copy_factor=0.85, name="OpenMPI")
+
+
+def _proposed_factory(site: RankSite, trace: Trace) -> PackingScheme:
+    from ..core.framework import KernelFusionScheme
+
+    return KernelFusionScheme(site, trace)
+
+
+#: name -> factory(site, trace) for every evaluated scheme.
+SCHEME_REGISTRY: Dict[str, Callable[[RankSite, Trace], PackingScheme]] = {
+    "GPU-Sync": GPUSyncScheme,
+    "GPU-Async": GPUAsyncScheme,
+    "CPU-GPU-Hybrid": CPUGPUHybridScheme,
+    "MVAPICH2-GDR": MVAPICHAdaptiveScheme,
+    "SpectrumMPI": _spectrum_factory,
+    "OpenMPI": _openmpi_factory,
+    "Proposed": _proposed_factory,
+}
+
+
+def make_scheme_factory(name: str, **kwargs) -> Callable[[RankSite, Trace], PackingScheme]:
+    """Factory for ``name`` with constructor overrides baked in."""
+    base = SCHEME_REGISTRY[name]
+
+    def factory(site: RankSite, trace: Trace) -> PackingScheme:
+        if kwargs and base in (_spectrum_factory, _openmpi_factory, _proposed_factory):
+            raise ValueError(f"overrides not supported for aliased scheme {name!r}")
+        return base(site, trace, **kwargs) if kwargs else base(site, trace)
+
+    return factory

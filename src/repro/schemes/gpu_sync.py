@@ -1,0 +1,58 @@
+"""GPU-Sync: the classic synchronous GPU-driven baseline [8, 22].
+
+One optimized pack/unpack kernel per operation, followed immediately by
+an explicit ``cudaStreamSynchronize``.  The CPU pays, **per operation**:
+
+* the kernel launch overhead (``LAUNCH``),
+* the kernel's full execution time, since it blocks until completion
+  (``PACK``),
+* the stream-synchronize driver cost (``SYNC``).
+
+Nothing overlaps: during a bulk transfer of N buffers, N launches and N
+synchronizations serialize on the CPU (the *SYNCHRONOUS* timeline of
+Fig. 2), which is why this scheme's latency grows linearly in both N
+and the per-kernel overhead even when the kernels themselves are
+microseconds long.
+"""
+
+from __future__ import annotations
+
+from ..gpu.kernels import KernelOp
+from ..net.topology import RankSite
+from ..sim.trace import Category, Trace
+from .base import OpHandle, PackingScheme, SchemeCapabilities, SchemeGen
+
+__all__ = ["GPUSyncScheme"]
+
+
+class GPUSyncScheme(PackingScheme):
+    """Synchronous GPU kernels: launch, execute, synchronize, repeat."""
+
+    name = "GPU-Sync"
+    capabilities = SchemeCapabilities(
+        layout_cache=False,
+        driver_overhead="high",
+        latency="high",
+        overlap="low",
+    )
+
+    def __init__(self, site: RankSite, trace: Trace | None = None):
+        super().__init__(site, trace)
+        self.stream = site.device.default_stream
+
+    def submit(self, op: KernelOp, label: str = "") -> SchemeGen:
+        arch = self.site.device.arch
+        yield from self._charge(Category.LAUNCH, arch.kernel_launch_overhead, label)
+        done = self.stream.enqueue(op)
+        # cudaStreamSynchronize: the CPU blocks for the kernel's whole
+        # execution, then pays the synchronize call itself.
+        start = self.sim.now
+        yield done
+        self.trace.charge(Category.PACK, start, self.sim.now, label=label)
+        yield from self._charge(Category.SYNC, arch.stream_sync_overhead, label)
+        return self._handle(op, done, label=label)
+
+    def wait(self, handles) -> SchemeGen:
+        """Every operation completed inside :meth:`submit`; nothing to do."""
+        return
+        yield  # pragma: no cover - generator marker

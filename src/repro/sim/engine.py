@@ -1,0 +1,435 @@
+"""Discrete-event simulation kernel.
+
+This module provides the virtual-clock substrate on which every timed
+component of the reproduction runs: GPU streams, network links, MPI
+progress engines, and the kernel-fusion scheduler.  It is a small,
+dependency-free engine in the style of SimPy:
+
+* :class:`Simulator` owns a binary-heap event calendar and the virtual
+  clock (``now``, in **seconds**).
+* :class:`Event` is a one-shot occurrence that callbacks can attach to.
+* :class:`Process` wraps a Python generator; the generator *yields*
+  events (or other processes) and is resumed when they fire, which gives
+  ordinary sequential-looking code for concurrent behaviour.
+* :class:`AllOf` / :class:`AnyOf` compose events.
+
+Determinism
+-----------
+Events scheduled for the same timestamp fire in FIFO order of their
+scheduling (a monotonically increasing sequence number breaks ties), so
+a simulation is fully deterministic given deterministic process code.
+This property is relied on by the regression tests and by the benchmark
+harness, which compares scheme timings without noise.
+
+Units
+-----
+The clock is a float in seconds.  Helpers :func:`us` and :func:`ns`
+convert the microsecond/nanosecond constants used throughout the GPU
+and network cost models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "us",
+    "ns",
+    "ms",
+]
+
+
+def us(value: float) -> float:
+    """Convert microseconds to simulator seconds."""
+    return value * 1e-6
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to simulator seconds."""
+    return value * 1e-9
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to simulator seconds."""
+    return value * 1e-3
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a :class:`Process` by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation calendar.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or
+    :meth:`fail` schedules it to fire at the current simulation time;
+    when it fires, all registered callbacks run with the event as the
+    sole argument.  Processes yield events to suspend until they fire.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+
+    #: sentinel distinguishing "no value yet" from a ``None`` value
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False when the event was failed with an exception."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed` (or the failure exception)."""
+        if self._value is Event._PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(delay, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure carrying ``exception``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(delay, self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self._triggered
+            else "pending"
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._enqueue(delay, self)
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events.
+
+    A constituent event counts toward satisfaction once it has been
+    *processed* (its callbacks ran), not merely scheduled — a freshly
+    created ``Timeout(5)`` is already triggered but must not satisfy an
+    ``AnyOf`` until the clock reaches it.
+    """
+
+    __slots__ = ("events", "_done_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: tuple[Event, ...] = tuple(events)
+        self._done_count = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot compose events of different simulators")
+            if ev.processed:
+                self._observe(ev)
+            else:
+                ev.callbacks.append(self._observe)
+        # An empty condition resolves immediately.
+        if not self._triggered and self._satisfied():
+            self.succeed(self._collect())
+
+    # subclass hooks -------------------------------------------------------
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> Any:
+        return {ev: ev.value for ev in self.events if ev.processed or ev is self}
+
+    def _observe(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._done_count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when *all* constituent events have been processed.
+
+    Its value is a dict mapping each event to its value.
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._done_count >= len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* constituent event is processed.
+
+    Its value is a dict of the events processed by trigger time.
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._done_count >= 1 or not self.events
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A generator-driven concurrent activity.
+
+    The wrapped generator yields :class:`Event` objects; the process
+    sleeps until each fires and is resumed with the event's value (or
+    has the failure exception thrown into it).  A process is itself an
+    event that fires with the generator's return value, so processes can
+    wait on each other.
+    """
+
+    __slots__ = ("generator", "_target")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                "Process requires a generator; did you forget to call the "
+                "generator function?"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._target: Optional[Event] = None
+        bootstrap = Event(sim, name=f"init:{self.name}")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        carrier = Event(self.sim, name=f"interrupt:{self.name}")
+        carrier.callbacks.append(self._resume)
+        carrier.fail(Interrupt(cause))
+
+    # internal -------------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        # Detach from a previous target if we were interrupted while waiting.
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if trigger.ok:
+                target = self.generator.send(trigger._value if trigger._value is not Event._PENDING else None)
+            else:
+                target = self.generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+
+        if isinstance(target, Process) and target is self:
+            raise SimulationError("a process cannot wait on itself")
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances"
+            )
+        self._target = target
+        if target.processed:
+            # The event already fired; resume on a fresh zero-delay carrier
+            # so resumption still goes through the calendar (keeps ordering
+            # deterministic and stack depth bounded).
+            carrier = Event(self.sim)
+            carrier.callbacks.append(self._resume)
+            if target.ok:
+                carrier.succeed(target.value)
+            else:
+                carrier.fail(target.value)
+            self._target = carrier
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """Owner of the virtual clock and the event calendar."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        #: optional multiplicative jitter applied by streams and links
+        #: (see :mod:`repro.sim.noise`); None = exact determinism
+        self.noise = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` fire."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _enqueue(self, delay: float, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Fire exactly one event (the earliest scheduled)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty calendar")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks:
+            # A failed event (or crashed process) nobody was waiting on
+            # would silently swallow the error — and often turn into a
+            # livelock downstream; surface it instead.
+            raise event.value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to calendar exhaustion), a time
+        (run until the clock reaches it), or an :class:`Event` (run until
+        it fires, returning its value / raising its failure).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation ran out of events before {until!r} fired "
+                        "(deadlock?)"
+                    )
+                self.step()
+            if until.ok:
+                return until.value
+            raise until.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run until {horizon} < now ({self._now})")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,89 @@
+"""Workload specifications: the application kernels of §V-A.
+
+The paper evaluates four representative datatype layouts, re-implemented
+from the ddtbench micro-application suite [32] and the LLNL Comb 3-D
+halo kernel [33]:
+
+=============  ==================  =======  =============================
+Workload       MPI constructor     Class    Application domain
+=============  ==================  =======  =============================
+specfem3D_oc   indexed             sparse   Geophysics (seismic wave)
+specfem3D_cm   struct-on-indexed   sparse   Geophysics (coupled fields)
+MILC           nested vector       dense    Lattice QCD (su3_zdown face)
+NAS_MG         vector              dense    Fluid dynamics (MG faces)
+=============  ==================  =======  =============================
+
+*Sparse* means "more than thousands of small blocks", *dense* "less than
+thousand[s] of blocks" (§V-A).  Each generator takes a *dimension size*
+(the x-axis of Figs. 9–13) and returns a :class:`WorkloadSpec` carrying
+the committed datatype plus the buffer geometry a benchmark needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..datatypes.base import Datatype
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "register_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark workload instance."""
+
+    name: str
+    #: "sparse" or "dense" (the paper's taxonomy)
+    layout_class: str
+    #: committed datatype of one message
+    datatype: Datatype
+    #: datatype instances per message (MPI count argument)
+    count: int
+    #: the dimension-size parameter this instance was built from
+    dim: int
+    description: str = ""
+
+    @property
+    def message_bytes(self) -> int:
+        """Payload bytes of one message."""
+        return self.datatype.size * self.count
+
+    @property
+    def num_blocks(self) -> int:
+        """Contiguous blocks in one message's layout."""
+        return self.datatype.flatten().replicate(self.count).num_blocks
+
+    def buffer_bytes(self) -> int:
+        """Device bytes needed to hold one message's source/target."""
+        layout = self.datatype.flatten().replicate(self.count)
+        if layout.num_blocks == 0:
+            return 0
+        return int(layout.offsets[-1] + layout.lengths[-1])
+
+    def summary(self) -> str:
+        """One-line description for benchmark output."""
+        layout = self.datatype.flatten().replicate(self.count)
+        return (
+            f"{self.name}(dim={self.dim}): {self.layout_class}, "
+            f"{layout.num_blocks} blocks, {layout.size} B, "
+            f"mean block {layout.mean_block:.0f} B"
+        )
+
+
+WorkloadFactory = Callable[[int], WorkloadSpec]
+
+#: name → factory(dim) registry used by the benchmark harness.
+WORKLOADS: Dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str) -> Callable[[WorkloadFactory], WorkloadFactory]:
+    """Decorator adding a factory to :data:`WORKLOADS`."""
+
+    def wrap(factory: WorkloadFactory) -> WorkloadFactory:
+        WORKLOADS[name] = factory
+        return factory
+
+    return wrap

@@ -1,0 +1,164 @@
+"""Extended ddtbench workloads (the paper's future work, §VII).
+
+The paper evaluates four representative layouts and plans to "evaluate
+the proposed designs with more application workloads".  This module
+adds the remaining major ddtbench [32] micro-application patterns:
+
+* **WRF** (weather forecasting): the x-z boundary plane of a 3-D
+  struct-of-arrays domain — ddtbench models it with nested
+  ``MPI_Type_create_subarray`` over several float fields.  Dense-ish,
+  medium blocks.
+* **NAS_LU_x** (LU solver, x-direction face): ``MPI_Type_vector`` with
+  *tiny* block lengths (one 5-variable point per run) — sparse-leaning
+  despite coming from a dense solver.
+* **NAS_LU_y** (y-direction face): contiguous rows of 5-variable
+  points — fully dense, few large blocks.
+* **FFT2D**: the classic transpose exchange — a vector of single
+  complex columns, the most strided dense pattern there is.
+* **LAMMPS_full** (molecular dynamics): an indexed exchange of
+  per-atom property tuples at scattered atom indices — sparse, like
+  specfem but with larger (56-byte) blocks.
+
+All register into :data:`repro.workloads.WORKLOADS`, so the benchmark
+harness and the extended-workloads benchmark sweep them exactly like
+the paper's four.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datatypes.constructors import Contiguous, Hvector, Indexed, Struct, Subarray, Vector
+from ..datatypes.primitives import COMPLEX, DOUBLE, FLOAT
+from .base import WorkloadSpec, register_workload
+from .specfem3d import boundary_displacements
+
+__all__ = ["wrf_xz_plane", "nas_lu_x", "nas_lu_y", "fft2d_transpose", "lammps_full"]
+
+
+@register_workload("WRF")
+def wrf_xz_plane(dim: int) -> WorkloadSpec:
+    """WRF x-z boundary plane: subarrays over four float fields.
+
+    The local domain is ``(dim, dim, dim)`` floats per field (z, y, x,
+    C order); the exchanged plane is the ``y = dim-1`` slab, two cells
+    deep.  Four fields (u, v, w, t) live back to back, modelled as a
+    struct of four shifted subarrays — ddtbench's
+    ``wrf_sa``/``wrf_vec`` family.
+    """
+    if dim < 4:
+        raise ValueError(f"WRF domain dimension must be >= 4, got {dim}")
+    depth = 2
+    field = Subarray(
+        (dim, dim, dim), (dim, depth, dim), (0, dim - depth, 0), FLOAT
+    )
+    field_bytes = dim * dim * dim * 4
+    datatype = Struct(
+        [1, 1, 1, 1],
+        [0, field_bytes, 2 * field_bytes, 3 * field_bytes],
+        [field, field, field, field],
+    ).commit()
+    return WorkloadSpec(
+        name="WRF",
+        layout_class="dense",
+        datatype=datatype,
+        count=1,
+        dim=dim,
+        description=(
+            f"x-z plane ({depth} deep) of four {dim}^3 FLOAT fields "
+            "(struct of subarrays)"
+        ),
+    )
+
+
+@register_workload("NAS_LU_x")
+def nas_lu_x(dim: int) -> WorkloadSpec:
+    """NAS LU x-face: one 5-variable point per strided run.
+
+    The LU solver carries 5 solution variables per grid point; the
+    x-direction face exchanges one point per row — ``dim^2`` runs of
+    just 20 bytes.  A dense-application layout with sparse-like block
+    structure (the reason LU's datatype path is notoriously slow).
+    """
+    if dim < 2:
+        raise ValueError(f"NAS_LU grid dimension must be >= 2, got {dim}")
+    point = Contiguous(5, FLOAT)
+    point_bytes = 5 * 4
+    # One z-plane's face column: one point per y value.
+    column = Vector(dim, 1, dim, point)
+    # One column per z-plane, strided by a full plane of points.
+    face = Hvector(dim, 1, dim * dim * point_bytes, column)
+    # dim^2 runs, 20 B each.
+    datatype = face.commit()
+    return WorkloadSpec(
+        name="NAS_LU_x",
+        layout_class="sparse",
+        datatype=datatype,
+        count=1,
+        dim=dim,
+        description=f"{dim * dim} single 5-FLOAT points (nested vector)",
+    )
+
+
+@register_workload("NAS_LU_y")
+def nas_lu_y(dim: int) -> WorkloadSpec:
+    """NAS LU y-face: contiguous rows of 5-variable points."""
+    if dim < 2:
+        raise ValueError(f"NAS_LU grid dimension must be >= 2, got {dim}")
+    point = Contiguous(5, FLOAT)
+    datatype = Vector(dim, dim, dim * dim, point).commit()
+    return WorkloadSpec(
+        name="NAS_LU_y",
+        layout_class="dense",
+        datatype=datatype,
+        count=1,
+        dim=dim,
+        description=f"{dim} rows of {dim} 5-FLOAT points (vector)",
+    )
+
+
+@register_workload("FFT2D")
+def fft2d_transpose(dim: int) -> WorkloadSpec:
+    """FFT2D transpose: a block of single-complex columns.
+
+    Each rank sends one column block of its ``dim x dim`` complex
+    matrix per peer — ``dim`` runs of a handful of complex values
+    strided by a full row.  The canonical worst-case vector.
+    """
+    if dim < 2:
+        raise ValueError(f"FFT matrix dimension must be >= 2, got {dim}")
+    cols = max(1, dim // 16)  # column-block width for a 16-rank job
+    datatype = Vector(dim, cols, dim, COMPLEX).commit()
+    return WorkloadSpec(
+        name="FFT2D",
+        layout_class="dense",
+        datatype=datatype,
+        count=1,
+        dim=dim,
+        description=f"{dim} runs of {cols} COMPLEX (matrix-transpose vector)",
+    )
+
+
+@register_workload("LAMMPS_full")
+def lammps_full(dim: int, seed: int = 4321) -> WorkloadSpec:
+    """LAMMPS ``full`` pair style: scattered per-atom property tuples.
+
+    Ghost-atom exchange gathers, per boundary atom, a 7-double tuple
+    (position, velocity, charge) from the scattered atom arrays —
+    ``MPI_Type_indexed`` with 56-byte blocks at ``dim`` random atom
+    indices.
+    """
+    if dim < 1:
+        raise ValueError(f"need at least one boundary atom, got {dim}")
+    disp = boundary_displacements(dim, field_elems=4 * dim, seed=seed)
+    datatype = Indexed(
+        np.full(dim, 7, dtype=np.int64), disp * 7, DOUBLE
+    ).commit()
+    return WorkloadSpec(
+        name="LAMMPS_full",
+        layout_class="sparse",
+        datatype=datatype,
+        count=1,
+        dim=dim,
+        description=f"{dim} scattered 7-DOUBLE atom tuples (MPI indexed)",
+    )

@@ -1,0 +1,145 @@
+"""Multi-dimensional halo-exchange schedules (Fig. 3 / LLNL Comb [33]).
+
+Scientific codes decompose an ``n``-D domain across ranks and exchange
+ghost regions with their neighbors every step.  This module builds the
+datatype schedule for one rank's exchange:
+
+* :func:`halo_2d` — the paper's Fig. 3: four neighbors, the east/west
+  boundary *columns* non-contiguous (vector), north/south rows
+  contiguous;
+* :func:`halo_3d` — Comb-style 3-D decomposition: 6 face neighbors, or
+  the full 26 (faces + 12 edges + 8 corners) when ``corners=True`` —
+  "a typical 3D domain decomposition would involve 27 boundary data to
+  be exchanged" (§V-C counts the rank itself).
+
+Each :class:`HaloNeighbor` carries matched *send* (interior boundary)
+and *recv* (ghost shell) :class:`~repro.datatypes.constructors.Subarray`
+types over the same local array geometry, so a symmetric exchange
+between two ranks running the same schedule is byte-exact — the
+integration tests rely on this.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..datatypes.base import Datatype
+from ..datatypes.constructors import Subarray
+from ..datatypes.primitives import DOUBLE, Primitive
+
+__all__ = ["HaloNeighbor", "HaloSchedule", "halo_2d", "halo_3d"]
+
+
+@dataclass(frozen=True)
+class HaloNeighbor:
+    """One neighbor's exchange datatypes."""
+
+    #: offset of the neighbor in grid coordinates, e.g. (0, +1)
+    direction: Tuple[int, ...]
+    #: datatype selecting the interior cells to send toward ``direction``
+    send_type: Datatype
+    #: datatype selecting the ghost cells receiving from ``direction``
+    recv_type: Datatype
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes exchanged with this neighbor."""
+        return self.send_type.size
+
+
+@dataclass(frozen=True)
+class HaloSchedule:
+    """A rank's complete halo exchange."""
+
+    #: local array shape including ghost shells
+    shape: Tuple[int, ...]
+    ghost: int
+    neighbors: Tuple[HaloNeighbor, ...]
+    base: Primitive
+
+    @property
+    def array_bytes(self) -> int:
+        """Bytes of the local array (allocation size)."""
+        return int(np.prod(self.shape)) * self.base.extent
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes over all neighbors (one direction)."""
+        return sum(n.nbytes for n in self.neighbors)
+
+
+def _box_for(
+    shape: Tuple[int, ...], ghost: int, direction: Tuple[int, ...], send: bool
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Sub-box (subsizes, starts) for one direction's send/recv region.
+
+    For the send side the box covers interior cells adjacent to the
+    ghost shell in that direction; for the recv side it covers the
+    ghost shell itself.
+    """
+    subsizes: List[int] = []
+    starts: List[int] = []
+    for extent_d, step in zip(shape, direction):
+        interior = extent_d - 2 * ghost
+        if step == 0:
+            subsizes.append(interior)
+            starts.append(ghost)
+        elif step < 0:
+            subsizes.append(ghost)
+            starts.append(ghost if send else 0)
+        else:
+            subsizes.append(ghost)
+            starts.append(extent_d - 2 * ghost if send else extent_d - ghost)
+    return tuple(subsizes), tuple(starts)
+
+
+def _build_schedule(
+    interior: Tuple[int, ...], ghost: int, corners: bool, base: Primitive
+) -> HaloSchedule:
+    ndim = len(interior)
+    if ghost < 1:
+        raise ValueError(f"ghost width must be >= 1, got {ghost}")
+    if any(n < ghost for n in interior):
+        raise ValueError(f"interior {interior} smaller than ghost width {ghost}")
+    shape = tuple(n + 2 * ghost for n in interior)
+    neighbors: List[HaloNeighbor] = []
+    for direction in itertools.product((-1, 0, 1), repeat=ndim):
+        if all(d == 0 for d in direction):
+            continue
+        if not corners and sum(abs(d) for d in direction) != 1:
+            continue
+        send_sub, send_start = _box_for(shape, ghost, direction, send=True)
+        recv_sub, recv_start = _box_for(shape, ghost, direction, send=False)
+        neighbors.append(
+            HaloNeighbor(
+                direction=direction,
+                send_type=Subarray(shape, send_sub, send_start, base).commit(),
+                recv_type=Subarray(shape, recv_sub, recv_start, base).commit(),
+            )
+        )
+    return HaloSchedule(shape=shape, ghost=ghost, neighbors=tuple(neighbors), base=base)
+
+
+def halo_2d(
+    interior: Tuple[int, int], ghost: int = 1, base: Primitive = DOUBLE,
+    corners: bool = False,
+) -> HaloSchedule:
+    """The Fig. 3 exchange: a 2-D grid's 4 (or 8) neighbors."""
+    if len(interior) != 2:
+        raise ValueError("halo_2d needs a 2-tuple interior shape")
+    return _build_schedule(tuple(interior), ghost, corners, base)
+
+
+def halo_3d(
+    interior: Tuple[int, int, int], ghost: int = 1, base: Primitive = DOUBLE,
+    corners: bool = True,
+) -> HaloSchedule:
+    """Comb-style 3-D exchange: 6 faces, plus edges/corners by default
+    (26 neighbors — the §V-C "27 boundary data" counting the center)."""
+    if len(interior) != 3:
+        raise ValueError("halo_3d needs a 3-tuple interior shape")
+    return _build_schedule(tuple(interior), ghost, corners, base)

@@ -1,0 +1,58 @@
+"""MILC workload: nested-vector *dense* layout (su3_zdown face).
+
+MILC simulates lattice QCD on a 4-D space-time lattice; each site
+carries an su3 vector (3 complex single-precision values = 24 bytes).
+Sending the z-down face of a local ``L^4`` lattice means one contiguous
+run of su3 vectors per (z excluded) lattice line — which ddtbench [32]
+expresses as a **nested vector**: an outer ``MPI_Type_vector`` over an
+inner vector over a contiguous su3 element.
+
+For dimension size ``L`` the face holds ``L^3`` sites in ``L^2``
+contiguous runs of ``L`` sites (``24·L`` bytes each): hundreds of
+blocks of hundreds of bytes — the paper's *dense* class, where block
+sizes are large enough that packing approaches peak bandwidth and the
+CPU-driven hybrid path can compete.
+"""
+
+from __future__ import annotations
+
+from ..datatypes.constructors import Contiguous, Hvector, Vector
+from ..datatypes.primitives import FLOAT
+from .base import WorkloadSpec, register_workload
+
+__all__ = ["milc_su3_zdown", "SU3_VECTOR_FLOATS"]
+
+#: floats per su3 vector (3 complex values)
+SU3_VECTOR_FLOATS = 6
+
+
+@register_workload("MILC")
+def milc_su3_zdown(dim: int) -> WorkloadSpec:
+    """The su3_zdown face exchange of a ``dim^4`` local lattice.
+
+    Layout: site = 24 B su3 vector; a face line is ``dim`` consecutive
+    sites; lines repeat every ``dim^2`` sites (the z stride); the outer
+    vector spans the remaining two dimensions (``dim^2`` lines).
+    """
+    if dim < 2:
+        raise ValueError(f"MILC lattice dimension must be >= 2, got {dim}")
+    su3 = Contiguous(SU3_VECTOR_FLOATS, FLOAT)
+    su3_bytes = SU3_VECTOR_FLOATS * 4
+    # Inner vector: one t-slab's worth of face lines — `dim` runs of
+    # `dim` sites, one per y value, strided by a full z-column of runs.
+    slab = Vector(dim, dim, dim * dim, su3)
+    # Outer: `dim` such slabs, one per t value, strided by the full
+    # `dim^3`-site t-slab (byte stride, hence hvector).
+    face = Hvector(dim, 1, dim * dim * dim * su3_bytes, slab)
+    datatype = face.commit()
+    return WorkloadSpec(
+        name="MILC",
+        layout_class="dense",
+        datatype=datatype,
+        count=1,
+        dim=dim,
+        description=(
+            f"su3_zdown face: {dim * dim} runs of {dim} su3 vectors "
+            f"({SU3_VECTOR_FLOATS * 4 * dim} B each), nested vector"
+        ),
+    )

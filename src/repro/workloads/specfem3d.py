@@ -1,0 +1,99 @@
+"""SPECFEM3D workloads: the paper's *sparse* layouts.
+
+SPECFEM3D_GLOBE simulates global seismic wave propagation with spectral
+elements; at a chunk boundary it exchanges the values of the boundary
+grid points, which sit scattered through the field arrays.  ddtbench
+[32] distills two datatype patterns from it:
+
+* **specfem3D_oc** (outer core): a single scalar field — one
+  ``MPI_Type_indexed`` over ``float`` with unit block lengths at
+  boundary-point offsets: *thousands of 4-byte blocks*.
+* **specfem3D_cm** (crust-mantle): a 3-component (x, y, z) displacement
+  field — the paper calls it *struct-on-indexed*: a struct whose
+  members are indexed types, one per component array.  The blocks are
+  12 bytes (3 floats) but there are thousands of them.
+
+Both are the adversarial case for per-block processing: enormous block
+counts with tiny blocks, where GPU packing kernels are fast but launch
+overhead and per-block driver work dominate.
+
+Boundary-point offsets are generated with a seeded RNG (sorted unique
+positions within a field array ~4× larger than the boundary), so every
+run of a given ``dim`` uses the identical layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datatypes.constructors import Indexed, Struct
+from ..datatypes.primitives import FLOAT
+from .base import WorkloadSpec, register_workload
+
+__all__ = ["specfem3d_oc", "specfem3d_cm", "boundary_displacements"]
+
+
+def boundary_displacements(
+    num_points: int, field_elems: int, seed: int = 1234
+) -> np.ndarray:
+    """Sorted unique boundary-point element offsets within a field array.
+
+    ``num_points`` scattered positions drawn from ``field_elems`` slots;
+    consecutive positions are never adjacent (each point is its own
+    block), matching the scattered boundary sets of the real code.
+    """
+    if num_points <= 0:
+        raise ValueError(f"num_points must be positive, got {num_points}")
+    if field_elems < 2 * num_points:
+        raise ValueError(
+            f"field of {field_elems} elements cannot hold {num_points} "
+            "non-adjacent boundary points"
+        )
+    rng = np.random.default_rng(seed)
+    # Draw from the even positions only: any two chosen points are at
+    # least 2 elements apart, so no two blocks ever touch/coalesce.
+    candidates = field_elems // 2
+    positions = np.sort(rng.choice(candidates, size=num_points, replace=False)) * 2
+    return positions.astype(np.int64)
+
+
+@register_workload("specfem3D_oc")
+def specfem3d_oc(dim: int, seed: int = 1234) -> WorkloadSpec:
+    """Outer-core workload: indexed float, ``dim`` single-element blocks."""
+    disp = boundary_displacements(dim, field_elems=4 * dim, seed=seed)
+    datatype = Indexed(np.ones(dim, dtype=np.int64), disp, FLOAT).commit()
+    return WorkloadSpec(
+        name="specfem3D_oc",
+        layout_class="sparse",
+        datatype=datatype,
+        count=1,
+        dim=dim,
+        description=f"{dim} scattered FLOAT points (MPI indexed)",
+    )
+
+
+@register_workload("specfem3D_cm")
+def specfem3d_cm(dim: int, seed: int = 1234) -> WorkloadSpec:
+    """Crust-mantle workload: struct of three indexed component fields.
+
+    Each of the x/y/z displacement components lives in its own field
+    array (modelled as consecutive regions of one allocation); the
+    boundary gather pulls ``dim`` 3-float points from each.
+    """
+    disp = boundary_displacements(dim, field_elems=4 * dim, seed=seed)
+    component = Indexed(np.full(dim, 3, dtype=np.int64), disp * 3, FLOAT).commit()
+    field_span = component.flatten().span
+    # Components are laid out one after another (xx..x yy..y zz..z),
+    # 64-byte aligned, as separate arrays of one struct-of-arrays field.
+    stride = (field_span + 63) // 64 * 64
+    datatype = Struct(
+        [1, 1, 1], [0, stride, 2 * stride], [component, component, component]
+    ).commit()
+    return WorkloadSpec(
+        name="specfem3D_cm",
+        layout_class="sparse",
+        datatype=datatype,
+        count=1,
+        dim=dim,
+        description=f"3x{dim} scattered 3-FLOAT points (struct-on-indexed)",
+    )

@@ -1,0 +1,151 @@
+"""Tests for the benchmark harness (runner + reports)."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    format_breakdown_table,
+    format_latency_table,
+    format_speedup_table,
+    run_bulk_exchange,
+    speedup_matrix,
+)
+from repro.net import LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.sim import Category
+from repro.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def results():
+    spec = WORKLOADS["NAS_MG"](32)
+    out = {}
+    for name in ("GPU-Sync", "Proposed"):
+        out[name] = run_bulk_exchange(
+            LASSEN, SCHEME_REGISTRY[name], spec, nbuffers=4, iterations=3, warmup=1
+        )
+    return out
+
+
+def test_result_latencies_recorded(results):
+    r = results["GPU-Sync"]
+    assert len(r.latencies) == 3
+    assert r.mean_latency > 0
+    assert r.min_latency <= r.mean_latency
+    assert r.scheme == "GPU-Sync"
+    assert r.workload == "NAS_MG"
+    assert r.system == "Lassen"
+    assert r.message_bytes == 32 * 32 * 8
+
+
+def test_iterations_are_deterministic(results):
+    """The simulation is noise-free: steady-state iterations agree."""
+    for r in results.values():
+        assert max(r.latencies) - min(r.latencies) < 1e-9
+
+
+def test_breakdown_sums_to_latency(results):
+    for r in results.values():
+        total = sum(r.breakdown.values())
+        assert total == pytest.approx(r.mean_latency, rel=0.05)
+
+
+def test_proposed_beats_sync(results):
+    assert results["Proposed"].speedup_over(results["GPU-Sync"]) > 1.5
+
+
+def test_proposed_lower_launch_and_sync(results):
+    sync_bd = results["GPU-Sync"].breakdown
+    prop_bd = results["Proposed"].breakdown
+    assert prop_bd[Category.LAUNCH] < sync_bd[Category.LAUNCH]
+    assert prop_bd[Category.SYNC] < sync_bd[Category.SYNC]
+
+
+def test_scheduler_stats_captured(results):
+    stats = results["Proposed"].scheduler_stats
+    assert stats is not None
+    assert stats.enqueued > 0
+
+
+def test_data_plane_off_matches_timing():
+    spec = WORKLOADS["NAS_MG"](32)
+    wet = run_bulk_exchange(
+        LASSEN, SCHEME_REGISTRY["GPU-Sync"], spec, nbuffers=2, iterations=2, warmup=1
+    )
+    dry = run_bulk_exchange(
+        LASSEN, SCHEME_REGISTRY["GPU-Sync"], spec, nbuffers=2, iterations=2, warmup=1,
+        data_plane=False,
+    )
+    assert dry.mean_latency == pytest.approx(wet.mean_latency, rel=1e-9)
+
+
+def test_runner_validation():
+    spec = WORKLOADS["NAS_MG"](16)
+    with pytest.raises(ValueError):
+        run_bulk_exchange(
+            LASSEN, SCHEME_REGISTRY["GPU-Sync"], spec, iterations=0
+        )
+
+
+def test_verification_detects_dropped_bytes(monkeypatch):
+    """verify=True really checks: sabotage the unpack data plane and the
+    harness must raise its corruption error."""
+    import repro.bench.runner as runner_mod
+    from repro.net.topology import Cluster as RealCluster
+
+    class SabotagedCluster(RealCluster):
+        def __init__(self, sim, system, nodes=2, ranks_per_node=1, functional=True):
+            # Devices silently drop all byte movement while the harness
+            # believes the data plane is live.
+            super().__init__(sim, system, nodes, ranks_per_node, functional=False)
+
+    monkeypatch.setattr(runner_mod, "Cluster", SabotagedCluster)
+    spec = WORKLOADS["NAS_MG"](16)
+    with pytest.raises(AssertionError, match="corruption"):
+        run_bulk_exchange(
+            LASSEN, SCHEME_REGISTRY["GPU-Sync"], spec,
+            nbuffers=2, iterations=1, warmup=0,
+        )
+
+
+# -- report formatting -------------------------------------------------------------
+
+
+def _fake(scheme, latency):
+    r = ExperimentResult(
+        scheme=scheme, workload="w", system="s", nbuffers=4, dim=32
+    )
+    r.latencies = [latency]
+    r.breakdown = {c: 0.0 for c in Category}
+    r.breakdown[Category.PACK] = latency / 2
+    r.breakdown[Category.COMM] = latency / 2
+    return r
+
+
+def test_format_latency_table():
+    grid = {
+        "A": {32: _fake("A", 1e-4), 64: _fake("A", 2e-4)},
+        "B": {32: _fake("B", 2e-4)},
+    }
+    text = format_latency_table(grid, title="t", baseline="B")
+    assert "100.00us" in text
+    assert "speedup over B" in text
+    assert "--" in text  # missing cell for B/64
+
+
+def test_format_breakdown_table():
+    text = format_breakdown_table([_fake("A", 1e-4)], title="bd")
+    assert "pack" in text and "comm" in text
+    assert "50.00us" in text
+
+
+def test_speedup_matrix_and_table():
+    grid = {
+        "ref": {32: _fake("ref", 4e-4)},
+        "fast": {32: _fake("fast", 1e-4)},
+    }
+    m = speedup_matrix(grid, "ref")
+    assert m["fast"][32] == pytest.approx(4.0)
+    assert m["ref"][32] == pytest.approx(1.0)
+    text = format_speedup_table(grid, "ref", title="sp")
+    assert "4.00x" in text

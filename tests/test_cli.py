@@ -1,0 +1,82 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("compare", "breakdown", "sweep", "autotune", "workloads", "timeline"):
+        assert command in text
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("specfem3D_oc", "specfem3D_cm", "MILC", "NAS_MG", "WRF"):
+        assert name in out
+
+
+def test_compare_command(capsys):
+    rc = main([
+        "compare", "--workload", "NAS_MG", "--dim", "32",
+        "--nbuffers", "4", "--iterations", "2", "--skip-production",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Proposed" in out and "GPU-Sync" in out
+    assert "speedup over GPU-Sync" in out
+
+
+def test_breakdown_command(capsys):
+    rc = main([
+        "breakdown", "--workload", "MILC", "--dim", "8",
+        "--nbuffers", "4", "--iterations", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pack" in out and "launch" in out and "comm" in out
+
+
+def test_sweep_command(capsys):
+    rc = main([
+        "sweep", "--workload", "NAS_MG", "--dim", "64", "--nbuffers", "8",
+        "--iterations", "2", "--thresholds", "16", "512",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "16KB" in out and "512KB" in out
+
+
+def test_timeline_command(capsys):
+    rc = main([
+        "timeline", "--scheme", "GPU-Sync", "--workload", "NAS_MG",
+        "--dim", "32", "--nbuffers", "2", "--iterations", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "|" in out  # a rendered chart
+
+
+def test_autotune_command(capsys):
+    rc = main([
+        "autotune", "--workload", "NAS_MG", "--dim", "64", "--nbuffers", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "model-based recommendation" in out
+    assert "empirical best" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])
+
+
+def test_describe_command(capsys):
+    rc = main(["describe", "--workload", "MILC", "--dim", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "hvector" in out and "flattened:" in out

@@ -1,0 +1,103 @@
+"""Unit tests for cooperative-group partitioning of fused kernels."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import DOUBLE, DataLayout, Indexed
+from repro.gpu import GPUDevice, TESLA_V100, kernel_compute_time, partition
+from repro.sim import Simulator
+
+
+def _ops(n, nbytes=4096, blocks=64):
+    dev = GPUDevice(Simulator(), TESLA_V100)
+    lay = DataLayout(
+        np.arange(blocks, dtype=np.int64) * (2 * nbytes // blocks),
+        np.full(blocks, nbytes // blocks, dtype=np.int64),
+    )
+    src = dev.alloc(lay.span + 64)
+    return [dev.pack_op(src, lay, dev.alloc(lay.size)) for _ in range(n)]
+
+
+def test_partition_empty_rejected():
+    with pytest.raises(ValueError):
+        partition(TESLA_V100, [])
+    with pytest.raises(ValueError):
+        partition(TESLA_V100, _ops(1), grid_blocks=0)
+
+
+def test_partition_single_request():
+    ops = _ops(1)
+    plan = partition(TESLA_V100, ops)
+    assert len(plan.requests) == 1
+    assert plan.total_duration == plan.requests[0].completion_offset
+
+
+def test_total_is_max_over_groups():
+    plan = partition(TESLA_V100, _ops(8))
+    assert plan.total_duration == pytest.approx(
+        max(r.completion_offset for r in plan.requests)
+    )
+
+
+def test_shares_proportional_to_bytes():
+    dev = GPUDevice(Simulator(), TESLA_V100)
+    small_lay = DataLayout([0], [1024])
+    big_lay = DataLayout([0], [64 * 1024])
+    src = dev.alloc(128 * 1024)
+    small = dev.pack_op(src, small_lay, dev.alloc(1024))
+    big = dev.pack_op(src, big_lay, dev.alloc(64 * 1024))
+    plan = partition(TESLA_V100, [small, big])
+    shares = {id(r.op): r.block_share for r in plan.requests}
+    assert shares[id(big)] > shares[id(small)]
+
+
+def test_fused_time_beats_serial_execution():
+    """The paper's core claim: one fused kernel over N small requests
+    finishes far sooner than N back-to-back kernels plus N launches."""
+    ops = _ops(16)
+    plan = partition(TESLA_V100, ops)
+    serial = sum(op.duration for op in ops) + 16 * TESLA_V100.kernel_launch_overhead
+    fused = plan.total_duration + TESLA_V100.kernel_launch_overhead
+    assert fused < serial / 2
+
+
+def test_fused_time_close_to_single_kernel_for_small_batches():
+    """§IV-A3: 'the fused kernel's execution time can be the same as
+    the typical packing/unpacking kernel' when requests are small."""
+    ops = _ops(4, nbytes=2048, blocks=16)
+    plan = partition(TESLA_V100, ops)
+    single = ops[0].duration
+    assert plan.total_duration < 4 * single
+
+
+def test_many_tiny_requests_fractional_shares():
+    # 320 tiny requests over a 160-block grid: shares drop below 1.
+    ops = _ops(320, nbytes=256, blocks=2)
+    plan = partition(TESLA_V100, ops, grid_blocks=160)
+    assert any(r.block_share < 1.0 for r in plan.requests)
+    assert plan.grid_blocks == 160
+
+
+def test_plan_total_bytes():
+    ops = _ops(5, nbytes=4096)
+    plan = partition(TESLA_V100, ops)
+    assert plan.total_bytes == sum(op.nbytes for op in ops)
+
+
+def test_grid_defaults_to_saturation():
+    plan = partition(TESLA_V100, _ops(2))
+    assert plan.grid_blocks == TESLA_V100.saturation_blocks
+
+
+def test_per_request_offset_at_least_solo_time_under_share():
+    ops = _ops(3)
+    plan = partition(TESLA_V100, ops)
+    for req in plan.requests:
+        lower = kernel_compute_time(
+            TESLA_V100,
+            req.op.nbytes,
+            req.op.num_blocks,
+            req.op.mean_block,
+        )
+        # A share-capped request can never beat its uncapped solo time.
+        assert req.completion_offset >= lower - 1e-12

@@ -1,0 +1,167 @@
+"""Unit tests for the kernel cost model and op factories."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import DOUBLE, DataLayout, Indexed, Vector
+from repro.gpu import (
+    ARCHITECTURES,
+    GPUDevice,
+    OpKind,
+    TESLA_K80,
+    TESLA_V100,
+    kernel_compute_time,
+)
+from repro.sim import Simulator
+
+
+def test_cost_monotone_in_bytes():
+    t1 = kernel_compute_time(TESLA_V100, 1024, 8, 128)
+    t2 = kernel_compute_time(TESLA_V100, 1 << 20, 8, 128)
+    assert t2 > t1
+
+
+def test_cost_small_blocks_less_efficient():
+    """Same bytes in tiny blocks cost more (strided-access penalty)."""
+    dense = kernel_compute_time(TESLA_V100, 1 << 16, 64, 1024)
+    sparse = kernel_compute_time(TESLA_V100, 1 << 16, 4096, 16)
+    assert sparse > dense
+
+
+def test_cost_few_blocks_cannot_saturate():
+    """One resident block moves data far slower than a full grid."""
+    one = kernel_compute_time(TESLA_V100, 1 << 20, 1, 1 << 20)
+    many = kernel_compute_time(TESLA_V100, 1 << 20, 256, 4096)
+    assert one > many
+
+
+def test_grid_cap_slows_kernel():
+    full = kernel_compute_time(TESLA_V100, 1 << 20, 256, 4096)
+    capped = kernel_compute_time(TESLA_V100, 1 << 20, 256, 4096, grid_blocks=4)
+    assert capped > full
+
+
+def test_zero_bytes_costs_fixed_only():
+    assert kernel_compute_time(TESLA_V100, 0, 0, 0) == TESLA_V100.kernel_fixed_cost
+    assert kernel_compute_time(TESLA_V100, 0, 0, 0, include_fixed=False) == 0.0
+
+
+def test_launch_overhead_dominates_typical_pack():
+    """The Fig. 1 fact: on *modern* architectures (Pascal onward) the
+    launch overhead outweighs the pack kernel itself; on Kepler the
+    kernels were still slow enough to dominate."""
+    for arch in ARCHITECTURES.values():
+        # specfem-like: thousands of tiny blocks, tens of KB.
+        t = kernel_compute_time(arch, 64_000, 4000, 16)
+        if arch.year >= 2016:
+            assert arch.kernel_launch_overhead > 0.5 * t
+        else:
+            assert t > arch.kernel_launch_overhead
+
+
+def test_strided_efficiency_bounds():
+    assert TESLA_V100.strided_efficiency(1) == pytest.approx(1 / 128)
+    assert TESLA_V100.strided_efficiency(128) == 1.0
+    assert TESLA_V100.strided_efficiency(4096) == 1.0
+    assert TESLA_V100.strided_efficiency(0) == 1.0
+
+
+def test_arch_overrides():
+    fast = TESLA_V100.with_overrides(kernel_launch_overhead=0.0)
+    assert fast.kernel_launch_overhead == 0.0
+    assert TESLA_V100.kernel_launch_overhead > 0.0  # original untouched
+
+
+def test_newer_arch_faster_kernels_similar_launch():
+    """GPUs got faster; launch overhead did not shrink proportionally."""
+    k80 = kernel_compute_time(TESLA_K80, 64_000, 4000, 16)
+    v100 = kernel_compute_time(TESLA_V100, 64_000, 4000, 16)
+    assert v100 < k80
+    assert TESLA_V100.kernel_launch_overhead > 0.5 * TESLA_K80.kernel_launch_overhead
+
+
+# -- functional op factories -------------------------------------------------------
+
+
+def _device():
+    return GPUDevice(Simulator(), TESLA_V100)
+
+
+def test_pack_op_moves_bytes():
+    dev = _device()
+    t = Vector(4, 2, 5, DOUBLE).commit()
+    lay = t.flatten()
+    src = dev.alloc(lay.span + 8)
+    src.data[:] = np.random.default_rng(0).integers(0, 256, src.nbytes)
+    dst = dev.alloc(lay.size)
+    op = dev.pack_op(src, lay, dst)
+    assert op.kind == OpKind.PACK
+    assert op.nbytes == lay.size
+    op.apply()
+    assert np.array_equal(dst.data[: lay.size], src.data[lay.gather_index()])
+
+
+def test_unpack_op_moves_bytes():
+    dev = _device()
+    lay = DataLayout([0, 16], [8, 8])
+    packed = dev.alloc(16, fill=7)
+    dst = dev.alloc(32)
+    dev.unpack_op(packed, lay, dst).apply()
+    assert (dst.data[lay.gather_index()] == 7).all()
+    assert not dst.data[8:16].any()
+
+
+def test_pack_op_offsets():
+    dev = _device()
+    lay = DataLayout([0], [4])
+    src = dev.alloc(32)
+    src.data[:] = np.arange(32)
+    dst = dev.alloc(16)
+    dev.pack_op(src, lay, dst, source_offset=10, packed_offset=4).apply()
+    assert list(dst.data[4:8]) == [10, 11, 12, 13]
+
+
+def test_direct_ipc_op():
+    dev = _device()
+    src_lay = DataLayout([0, 16], [4, 4])
+    dst_lay = DataLayout([8, 100], [4, 4])
+    src = dev.alloc(32)
+    src.data[:4] = 1
+    src.data[16:20] = 2
+    dst = dev.alloc(128)
+    op = dev.direct_ipc_op(src, src_lay, dst, dst_lay, peer_bandwidth=50e9)
+    assert op.kind == OpKind.DIRECT_IPC
+    op.apply()
+    assert (dst.data[8:12] == 1).all()
+    assert (dst.data[100:104] == 2).all()
+
+
+def test_direct_ipc_size_mismatch_rejected():
+    dev = _device()
+    with pytest.raises(ValueError):
+        dev.direct_ipc_op(
+            dev.alloc(32), DataLayout([0], [8]),
+            dev.alloc(32), DataLayout([0], [4]),
+            peer_bandwidth=50e9,
+        )
+
+
+def test_dry_device_moves_no_bytes():
+    dev = GPUDevice(Simulator(), TESLA_V100, functional=False)
+    lay = DataLayout([0], [8])
+    src = dev.alloc(8, fill=5)
+    dst = dev.alloc(8)
+    op = dev.pack_op(src, lay, dst)
+    assert op.duration > 0  # priced normally
+    op.apply()
+    assert not dst.data.any()  # but no bytes moved
+
+
+def test_sparse_kernel_costs_match_workload_scale():
+    """Sanity-pin the cost model: a specfem-scale pack kernel on V100
+    lands in the paper's few-microsecond range (Fig. 1)."""
+    disp = np.arange(4000) * 6
+    t = Indexed(np.full(4000, 2), disp, DOUBLE).commit()
+    lay = t.flatten()
+    cost = kernel_compute_time(TESLA_V100, lay.size, lay.num_blocks, lay.mean_block)
+    assert 1e-6 < cost < 15e-6

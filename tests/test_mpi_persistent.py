@@ -1,0 +1,128 @@
+"""Tests for persistent requests (MPI_Send_init / Start / Startall)."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import DOUBLE, Vector
+from repro.mpi import PersistentKind, PersistentRequest, Runtime
+from repro.net import Cluster, LASSEN
+from repro.schemes import SCHEME_REGISTRY
+from repro.sim import Simulator
+
+
+def _setup(scheme="Proposed"):
+    sim = Simulator()
+    cluster = Cluster(sim, LASSEN, nodes=2)
+    rt = Runtime(sim, cluster, SCHEME_REGISTRY[scheme])
+    dt = Vector(32, 2, 5, DOUBLE).commit()
+    lay = rt.rank(0).resolve_layout(dt, 1)
+    hi = int(lay.offsets[-1] + lay.lengths[-1])
+    return sim, rt, dt, lay, hi
+
+
+def test_init_is_inactive():
+    sim, rt, dt, lay, hi = _setup()
+    r0 = rt.rank(0)
+    buf = r0.device.alloc(hi)
+    preq = r0.send_init(buf, dt, 1, dest=1, tag=0)
+    assert preq.kind is PersistentKind.SEND
+    assert preq.active is None and preq.done
+    with pytest.raises(RuntimeError):
+        _ = preq.completion
+
+
+def test_persistent_halo_loop_reuses_pattern():
+    """The canonical use: init once, start+wait every iteration, data
+    correct each time even as the buffer contents change."""
+    sim, rt, dt, lay, hi = _setup()
+    r0, r1 = rt.rank(0), rt.rank(1)
+    sbuf = r0.device.alloc(hi)
+    rbuf = r1.device.alloc(hi)
+    iters = 5
+    idx = lay.gather_index()
+    seen = []
+
+    def sender():
+        preq = r0.send_init(sbuf, dt, 1, dest=1, tag=0)
+        for it in range(iters):
+            sbuf.data[:] = (it + 1) % 251
+            yield from r0.start(preq)
+            yield from r0.waitall([preq])
+        assert preq.starts == iters
+
+    def receiver():
+        preq = r1.recv_init(rbuf, dt, 1, source=0, tag=0)
+        for it in range(iters):
+            yield from r1.start(preq)
+            yield from r1.waitall([preq])
+            seen.append(rbuf.data[idx].copy())
+
+    p0, p1 = sim.process(sender()), sim.process(receiver())
+    sim.run(sim.all_of([p0, p1]))
+    for it, got in enumerate(seen):
+        assert (got == (it + 1) % 251).all()
+
+
+def test_startall_orders_receives_before_sends():
+    sim, rt, dt, lay, hi = _setup("GPU-Sync")
+    r0, r1 = rt.rank(0), rt.rank(1)
+    bufs = {r: (rt.rank(r).device.alloc(hi, fill=r + 1), rt.rank(r).device.alloc(hi))
+            for r in (0, 1)}
+
+    def prog(me, peer):
+        rank = rt.rank(me)
+        preqs = [
+            rank.send_init(bufs[me][0], dt, 1, peer, tag=0),
+            rank.recv_init(bufs[me][1], dt, 1, peer, tag=0),
+        ]
+        for _ in range(3):
+            yield from rank.startall(preqs)
+            yield from rank.waitall(preqs)
+
+    p0, p1 = sim.process(prog(0, 1)), sim.process(prog(1, 0))
+    sim.run(sim.all_of([p0, p1]))
+    idx = lay.gather_index()
+    assert (bufs[0][1].data[idx] == 2).all()
+    assert (bufs[1][1].data[idx] == 1).all()
+
+
+def test_double_start_rejected():
+    sim, rt, dt, lay, hi = _setup("GPU-Sync")
+    r0 = rt.rank(0)
+    buf = r0.device.alloc(hi)
+    preq = r0.send_init(buf, dt, 1, dest=1, tag=0)
+
+    def prog():
+        yield from r0.start(preq)
+        yield from r0.start(preq)  # still active -> error
+
+    p = sim.process(prog())
+    with pytest.raises(RuntimeError, match="MPI_Start"):
+        sim.run(p)
+
+
+def test_persistent_fusion_batches_each_start():
+    """Each startall re-enters the fusion scheduler as a fresh batch."""
+    sim, rt, dt, lay, hi = _setup("Proposed")
+    r0, r1 = rt.rank(0), rt.rank(1)
+    n = 6
+    sbufs = [r0.device.alloc(hi, fill=1) for _ in range(n)]
+    rbufs = [r1.device.alloc(hi) for _ in range(n)]
+
+    def prog_send():
+        preqs = [r0.send_init(b, dt, 1, 1, tag=i) for i, b in enumerate(sbufs)]
+        for _ in range(2):
+            yield from r0.startall(preqs)
+            yield from r0.waitall(preqs)
+
+    def prog_recv():
+        preqs = [r1.recv_init(b, dt, 1, 0, tag=i) for i, b in enumerate(rbufs)]
+        for _ in range(2):
+            yield from r1.startall(preqs)
+            yield from r1.waitall(preqs)
+
+    p0, p1 = sim.process(prog_send()), sim.process(prog_recv())
+    sim.run(sim.all_of([p0, p1]))
+    stats = r0.scheme.scheduler.stats
+    assert stats.enqueued == 2 * n  # both rounds fused
+    assert stats.launches < stats.enqueued

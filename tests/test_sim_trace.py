@@ -1,0 +1,71 @@
+"""Unit tests for the time-breakdown trace."""
+
+import pytest
+
+from repro.sim import Category, Span, Trace
+
+
+def test_span_duration_and_validation():
+    s = Span(Category.PACK, 1.0, 3.0)
+    assert s.duration == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        Span(Category.PACK, 3.0, 1.0)
+
+
+def test_charge_and_totals():
+    t = Trace()
+    t.charge(Category.PACK, 0.0, 1.0)
+    t.charge(Category.COMM, 1.0, 4.0)
+    t.charge(Category.PACK, 5.0, 6.0)
+    assert t.total() == pytest.approx(5.0)
+    assert t.total(Category.PACK) == pytest.approx(2.0)
+    assert t.total(Category.COMM) == pytest.approx(3.0)
+    assert t.total(Category.SYNC) == 0.0
+
+
+def test_charge_duration_anchors_at_now():
+    t = Trace()
+    t.charge_duration(Category.LAUNCH, now=10.0, duration=2.0)
+    assert t.spans[0].start == pytest.approx(8.0)
+    assert t.spans[0].end == pytest.approx(10.0)
+
+
+def test_breakdown_includes_all_categories():
+    t = Trace()
+    t.charge(Category.SCHED, 0.0, 1.0)
+    bd = t.breakdown()
+    assert set(bd) == set(Category)
+    assert bd[Category.SCHED] == pytest.approx(1.0)
+    assert bd[Category.PACK] == 0.0
+
+
+def test_count_and_iter():
+    t = Trace()
+    t.charge(Category.SYNC, 0.0, 1.0, label="a")
+    t.charge(Category.SYNC, 1.0, 2.0, label="b")
+    t.charge(Category.PACK, 2.0, 3.0)
+    assert t.count() == 3
+    assert t.count(Category.SYNC) == 2
+    assert [s.label for s in t.iter_category(Category.SYNC)] == ["a", "b"]
+
+
+def test_disabled_trace_ignores_charges():
+    t = Trace(enabled=False)
+    t.charge(Category.PACK, 0.0, 1.0)
+    assert t.count() == 0
+
+
+def test_merge_and_clear():
+    a, b = Trace(), Trace()
+    a.charge(Category.PACK, 0.0, 1.0)
+    b.charge(Category.COMM, 0.0, 2.0)
+    a.merge([b])
+    assert a.total() == pytest.approx(3.0)
+    a.clear()
+    assert a.count() == 0
+
+
+def test_scaled():
+    t = Trace()
+    t.charge(Category.PACK, 0.0, 4.0)
+    assert t.scaled(0.25)[Category.PACK] == pytest.approx(1.0)

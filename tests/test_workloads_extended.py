@@ -1,0 +1,97 @@
+"""Unit tests for the extended (future-work) workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import as_byte_view, pack_bytes, unpack_bytes
+from repro.workloads import (
+    WORKLOADS,
+    fft2d_transpose,
+    lammps_full,
+    nas_lu_x,
+    nas_lu_y,
+    wrf_xz_plane,
+)
+
+
+def test_extended_workloads_registered():
+    for name in ("WRF", "NAS_LU_x", "NAS_LU_y", "FFT2D", "LAMMPS_full"):
+        assert name in WORKLOADS
+
+
+def test_wrf_struct_of_subarrays():
+    spec = wrf_xz_plane(16)
+    lay = spec.datatype.flatten()
+    assert spec.layout_class == "dense"
+    # 16 z-planes x 4 fields, the 2-deep y-slab rows coalescing.
+    assert lay.num_blocks == 16 * 4
+    assert spec.message_bytes == 4 * 16 * 2 * 16 * 4
+
+
+def test_wrf_fields_do_not_overlap():
+    spec = wrf_xz_plane(8)
+    idx = spec.datatype.flatten().gather_index()
+    assert len(np.unique(idx)) == len(idx)
+
+
+def test_nas_lu_x_sparse_points():
+    spec = nas_lu_x(16)
+    lay = spec.datatype.flatten()
+    assert spec.layout_class == "sparse"
+    assert lay.num_blocks == 16 * 16
+    assert lay.mean_block == pytest.approx(20.0)
+
+
+def test_nas_lu_y_dense_rows():
+    spec = nas_lu_y(16)
+    lay = spec.datatype.flatten()
+    assert lay.num_blocks == 16
+    assert lay.mean_block == pytest.approx(16 * 20.0)
+    # x and y faces carry the same payload, differently shaped.
+    assert spec.message_bytes == nas_lu_x(16).message_bytes
+
+
+def test_fft2d_column_block():
+    spec = fft2d_transpose(64)
+    lay = spec.datatype.flatten()
+    assert lay.num_blocks == 64
+    assert lay.mean_block == pytest.approx((64 // 16) * 8)
+
+
+def test_lammps_tuple_blocks():
+    spec = lammps_full(100)
+    lay = spec.datatype.flatten()
+    assert lay.num_blocks == 100
+    assert lay.mean_block == pytest.approx(56.0)
+    assert spec.message_bytes == 100 * 56
+
+
+def test_lammps_deterministic():
+    assert lammps_full(50).datatype.flatten() == lammps_full(50).datatype.flatten()
+
+
+@pytest.mark.parametrize(
+    "name,dim",
+    [("WRF", 8), ("NAS_LU_x", 8), ("NAS_LU_y", 8), ("FFT2D", 32), ("LAMMPS_full", 64)],
+)
+def test_extended_roundtrip(name, dim):
+    """Every extended layout packs/unpacks byte-exactly."""
+    spec = WORKLOADS[name](dim)
+    lay = spec.datatype.flatten()
+    rng = np.random.default_rng(3)
+    src = rng.integers(0, 256, spec.buffer_bytes() + 8, dtype=np.uint8)
+    packed = pack_bytes(src, lay)
+    dst = np.zeros_like(src)
+    unpack_bytes(packed, lay, dst)
+    idx = lay.gather_index()
+    assert np.array_equal(dst[idx], src[idx])
+
+
+@pytest.mark.parametrize(
+    "factory,bad_dim",
+    [(wrf_xz_plane, 3), (nas_lu_x, 1), (nas_lu_y, 1), (fft2d_transpose, 1),
+     (lammps_full, 0)],
+)
+def test_extended_validation(factory, bad_dim):
+    with pytest.raises(ValueError):
+        factory(bad_dim)
