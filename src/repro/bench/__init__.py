@@ -6,10 +6,11 @@ from .report import (
     format_speedup_table,
     speedup_matrix,
 )
-from .runner import ExperimentResult, run_bulk_exchange
+from .runner import ExperimentResult, RecoveryReport, run_bulk_exchange
 
 __all__ = [
     "ExperimentResult",
+    "RecoveryReport",
     "run_bulk_exchange",
     "format_latency_table",
     "format_breakdown_table",

@@ -18,6 +18,13 @@ Every iteration also verifies byte-exactness of all delivered buffers
 against a NumPy reference (something the original hardware experiments
 could not do inline), so the performance harness doubles as an
 end-to-end correctness check.
+
+Passing ``faults=FaultPlan(...)`` runs the same exchange on an
+imperfect fabric/GPU: the harness attaches the plan to the simulator,
+keeps the byte-exactness check on, and aggregates every recovery action
+(link retransmits, control watchdog fires, scheduler ladder steps) into
+a :class:`RecoveryReport` — the chaos-sweep evidence that faults cost
+time, never correctness.
 """
 
 from __future__ import annotations
@@ -33,12 +40,82 @@ from ..net.systems import SystemConfig
 from ..net.topology import Cluster
 from ..schemes.base import PackingScheme
 from ..sim.engine import Simulator
+from ..sim.faults import FaultPlan
+from ..sim.noise import NoiseModel
 from ..sim.trace import Category, Trace
 from ..workloads.base import WorkloadSpec
 
-__all__ = ["ExperimentResult", "run_bulk_exchange"]
+__all__ = ["ExperimentResult", "RecoveryReport", "run_bulk_exchange"]
 
 SchemeFactory = Callable[..., PackingScheme]
+
+
+@dataclass
+class RecoveryReport:
+    """Everything the system did to survive an injected fault plan."""
+
+    #: injected fault events by kind (:meth:`FaultStats.as_dict`)
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: data transfers retransmitted by links, summed over the cluster
+    link_retransmits: int = 0
+    #: simulated seconds lost to failed transfer attempts + backoff
+    link_fault_delay: float = 0.0
+    #: RTS packets re-sent by sender control watchdogs
+    rts_retransmits: int = 0
+    #: CTS offers repeated after a duplicate RTS found the CTS lost
+    cts_resends: int = 0
+    #: scheduler ladder rung ①: same-batch relaunches
+    relaunches: int = 0
+    #: scheduler ladder rung ②: batch halvings
+    batch_splits: int = 0
+    #: scheduler ladder rung ③: degraded launch-and-wait requests
+    sync_fallbacks: int = 0
+    #: per-operation kernel launches retried by the schemes themselves
+    launch_retries: int = 0
+    #: straggler relaunches issued by completion-deadline watchdogs
+    deadline_relaunches: int = 0
+    #: enqueues pushed onto the negative-UID fallback path
+    ring_fallbacks: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        """Total fault events the plan injected."""
+        return sum(self.injected.values())
+
+    @property
+    def total_recoveries(self) -> int:
+        """Total recovery actions taken across all layers."""
+        return (
+            self.link_retransmits
+            + self.rts_retransmits
+            + self.cts_resends
+            + self.relaunches
+            + self.batch_splits
+            + self.sync_fallbacks
+            + self.launch_retries
+            + self.deadline_relaunches
+            + self.ring_fallbacks
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary for the CLI."""
+        injected = ", ".join(
+            f"{k}={v}" for k, v in self.injected.items() if v
+        ) or "none"
+        lines = [
+            f"injected: {injected}",
+            f"recovered: link retransmits={self.link_retransmits} "
+            f"(+{self.link_fault_delay * 1e6:.1f}us), "
+            f"rts retransmits={self.rts_retransmits}, "
+            f"cts resends={self.cts_resends}",
+            f"scheduler: relaunches={self.relaunches}, "
+            f"splits={self.batch_splits}, "
+            f"sync fallbacks={self.sync_fallbacks}, "
+            f"deadline relaunches={self.deadline_relaunches}, "
+            f"ring fallbacks={self.ring_fallbacks}, "
+            f"scheme launch retries={self.launch_retries}",
+        ]
+        return "\n".join(lines)
 
 
 @dataclass
@@ -56,6 +133,8 @@ class ExperimentResult:
     breakdown: Dict[Category, float] = field(default_factory=dict)
     #: scheduler statistics of rank 0 (fusion runs only)
     scheduler_stats: Optional[object] = None
+    #: fault-injection recovery summary (fault runs only)
+    recovery: Optional[RecoveryReport] = None
     #: message payload bytes (one buffer)
     message_bytes: int = 0
 
@@ -93,6 +172,8 @@ def run_bulk_exchange(
     eager_threshold: Optional[int] = None,
     layout_cache_enabled: bool = True,
     seed: int = 42,
+    noise: Optional[NoiseModel] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """Run one experiment and return its measurements.
 
@@ -101,10 +182,16 @@ def run_bulk_exchange(
     overrides).  ``data_plane=False`` prices every operation but moves
     no bytes — identical timing, used for multi-megabyte sweeps where
     the NumPy copies would dominate harness wall time.
+
+    ``noise`` and ``faults`` attach an execution-noise model and a
+    fault-injection plan to the simulator; with ``faults`` set the
+    result carries a :class:`RecoveryReport`.
     """
     if iterations < 1 or warmup < 0:
         raise ValueError("need iterations >= 1 and warmup >= 0")
     sim = Simulator()
+    sim.noise = noise
+    sim.faults = faults
     cluster = Cluster(sim, system, nodes=2, ranks_per_node=1, functional=data_plane)
     runtime = Runtime(
         sim,
@@ -208,4 +295,26 @@ def run_bulk_exchange(
     scheme0 = ranks[0].scheme
     if hasattr(scheme0, "scheduler"):
         result.scheduler_stats = scheme0.scheduler.stats
+
+    if faults is not None:
+        report = RecoveryReport(injected=faults.stats.as_dict())
+        for link in cluster.links():
+            report.link_retransmits += link.retransmits
+            report.link_fault_delay += link.fault_delay
+        report.rts_retransmits = runtime.recovery.rts_retransmits
+        report.cts_resends = runtime.recovery.cts_resends
+        for r in ranks:
+            report.launch_retries += getattr(r.scheme, "launch_retries", 0)
+            fallback = getattr(r.scheme, "fallback", None)
+            if fallback is not None:
+                report.launch_retries += getattr(fallback, "launch_retries", 0)
+            sched = getattr(r.scheme, "scheduler", None)
+            if sched is None:
+                continue
+            report.relaunches += sched.stats.relaunches
+            report.batch_splits += sched.stats.batch_splits
+            report.sync_fallbacks += sched.stats.sync_fallbacks
+            report.deadline_relaunches += sched.stats.deadline_relaunches
+            report.ring_fallbacks += sched.stats.fallbacks
+        result.recovery = report
     return result

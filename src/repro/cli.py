@@ -7,9 +7,14 @@ without writing a script:
 * ``breakdown`` — the Fig. 11 five-bucket cost decomposition,
 * ``sweep``     — the Fig. 8 fusion-threshold sweep,
 * ``autotune``  — empirical + model-based threshold recommendations,
+* ``faults``    — chaos sweep: re-run one scheme under the fault
+  presets and report latency inflation + recovery actions,
 * ``workloads`` — list the available workload generators,
 * ``describe``  — render a workload datatype's construction tree,
 * ``timeline``  — ASCII Gantt chart of one scheme's cost trace.
+
+``--seed`` seeds both the payload RNG and (for ``faults``) the fault
+plan, so every run is reproducible end to end.
 """
 
 from __future__ import annotations
@@ -24,6 +29,8 @@ from .core.autotune import autotune_threshold, recommend_threshold
 from .core.fusion_policy import FusionPolicy
 from .net import SYSTEMS
 from .schemes import SCHEME_REGISTRY
+from .sim.faults import FAULT_PRESETS, FaultPlan
+from .sim.noise import NoiseModel
 from .sim.timeline import render_timeline
 from .workloads import WORKLOADS
 
@@ -32,15 +39,36 @@ __all__ = ["main"]
 KiB = 1024
 
 
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="specfem3D_cm", choices=sorted(WORKLOADS))
     p.add_argument("--dim", type=int, default=1000, help="workload dimension size")
     p.add_argument("--system", default="Lassen", choices=sorted(SYSTEMS))
     p.add_argument("--nbuffers", type=int, default=16, help="buffers per direction")
     p.add_argument("--iterations", type=int, default=3)
+    p.add_argument(
+        "--seed", type=int, default=42,
+        help="seed for payload data and fault/noise draws",
+    )
+    p.add_argument(
+        "--noise", type=_nonnegative_float, default=0.0, metavar="CV",
+        help="execution-noise coefficient of variation (0 = deterministic)",
+    )
 
 
-def _run(args, scheme_factory):
+def _noise(args) -> Optional[NoiseModel]:
+    if getattr(args, "noise", 0.0) > 0.0:
+        return NoiseModel(seed=args.seed, cv=args.noise)
+    return None
+
+
+def _run(args, scheme_factory, faults: Optional[FaultPlan] = None):
     return run_bulk_exchange(
         SYSTEMS[args.system],
         scheme_factory,
@@ -48,7 +76,10 @@ def _run(args, scheme_factory):
         nbuffers=args.nbuffers,
         iterations=args.iterations,
         warmup=1,
-        data_plane=False,
+        data_plane=faults is not None,
+        seed=args.seed,
+        noise=_noise(args),
+        faults=faults,
     )
 
 
@@ -120,6 +151,40 @@ def cmd_autotune(args) -> int:
     print(result.describe())
     print(f"\nempirical best: {result.best_threshold // KiB} KB "
           f"({result.best_latency * 1e6:.1f} us)")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Chaos sweep: one scheme under escalating fault presets.
+
+    Runs with the data plane on so every delivered buffer is verified
+    byte-for-byte against the sent payload — a run that prints at all
+    has proven the headline invariant (faults cost time, never
+    correctness).
+    """
+    factory = SCHEME_REGISTRY[args.scheme]
+    clean = _run(args, factory)
+    print(
+        f"Chaos sweep: {args.scheme} on {args.workload} dim={args.dim}, "
+        f"{args.nbuffers} buffers, {args.system}, seed={args.seed}"
+    )
+    print(f"fault-free baseline: {clean.mean_latency * 1e6:.1f} us/iteration\n")
+    print(
+        f"{'preset':>10}{'latency':>12}{'slowdown':>10}"
+        f"{'injected':>10}{'recovered':>11}  delivered"
+    )
+    for name in args.presets:
+        plan = FaultPlan(seed=args.seed, spec=FAULT_PRESETS[name])
+        result = _run(args, factory, faults=plan)
+        rec = result.recovery
+        print(
+            f"{name:>10}{result.mean_latency * 1e6:>10.1f}us"
+            f"{result.mean_latency / clean.mean_latency:>9.2f}x"
+            f"{rec.total_injected:>10}{rec.total_recoveries:>11}  bytes ok"
+        )
+        if args.verbose:
+            for line in rec.describe().splitlines():
+                print("    " + line)
     return 0
 
 
@@ -207,6 +272,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("autotune", help="recommend a fusion threshold")
     _add_common(p)
     p.set_defaults(fn=cmd_autotune)
+
+    p = sub.add_parser("faults", help="chaos sweep under fault-injection presets")
+    _add_common(p)
+    p.add_argument("--scheme", default="Proposed", choices=sorted(SCHEME_REGISTRY))
+    p.add_argument(
+        "--presets", nargs="+", default=["light", "moderate", "heavy"],
+        choices=sorted(FAULT_PRESETS),
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print per-preset recovery detail",
+    )
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("workloads", help="list workload generators")
     p.set_defaults(fn=cmd_workloads)

@@ -56,11 +56,22 @@ def launch_fused_kernel(
     # apply here — per-request timing is handled below).
     stream.enqueue_callable(plan.total_duration, None, value=plan)
 
+    faults = sim.faults
     for request, part in zip(requests, plan.requests):
         delay = (start + part.completion_offset) - sim.now
+        if faults is not None:
+            # A straggling thread-block group stretches this request's
+            # completion without delaying its batch-mates.
+            delay *= faults.straggler_multiplier()
         trigger = sim.timeout(delay)
 
         def _complete(_ev: Event, req: FusionRequest = request) -> None:
+            if req.complete:
+                # Already finished by another copy (deadline-watchdog
+                # relaunch racing a straggler).  Applying again could
+                # write into a staging buffer that has since been
+                # released and reused — first completion wins.
+                return
             req.op.apply()
             req.gpu_signal_complete()
 

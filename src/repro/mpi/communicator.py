@@ -43,6 +43,7 @@ from .protocols import (
     PIPELINE,
     RGET,
     RPUT,
+    WatchdogStats,
     receiver_pull_rget,
     sender_direct,
     sender_eager,
@@ -101,6 +102,9 @@ class Runtime:
         if pipeline_chunk_bytes < 1:
             raise ValueError("pipeline_chunk_bytes must be positive")
         self.pipeline_chunk_bytes = pipeline_chunk_bytes
+        #: control-plane recovery counters (RTS retransmits, CTS
+        #: re-offers) — only ever nonzero under fault injection
+        self.recovery = WatchdogStats()
         self._seq = itertools.count()
         self.ranks: List[Rank] = [
             Rank(self, cluster.site(r), scheme_factory) for r in range(cluster.size)
@@ -120,29 +124,70 @@ class Runtime:
         return next(self._seq)
 
     def _deliver_envelope(self, record: MessageRecord, delay: Optional[float] = None) -> None:
-        """Ship an envelope (eager header / RTS) to the destination rank."""
+        """Ship an envelope (eager header / RTS) to the destination rank.
+
+        Under fault injection a rendezvous RTS may be dropped on the
+        wire (the sender's control watchdog retransmits it), and a
+        *duplicate* RTS — one the watchdog re-sent — is deduplicated at
+        the receiver: matching runs exactly once, and the only effect of
+        a duplicate is re-offering a CTS the fabric may have eaten.
+        """
         if delay is None:
             delay = self.cluster.control_latency(record.source, record.dest)
+        faults = self.sim.faults
+        dropped = (
+            faults is not None
+            and record.protocol in (RPUT, RGET, PIPELINE)
+            and faults.drop_control("rts")
+        )
 
         def deliver() -> Generator[Event, None, None]:
             if delay > 0:
                 yield self.sim.timeout(delay)
+            if dropped:
+                return  # lost on the fabric; the sender watchdog re-sends
             dest = self.ranks[record.dest]
+            if record.envelope_delivered:
+                # Duplicate RTS from a watchdog retransmit.
+                if self._send_cts(record):
+                    self.recovery.cts_resends += 1
+                return
+            record.envelope_delivered = True
             result = dest.matching.deliver_envelope(record)
             if result is not None:
                 self._on_match(dest, result)
 
         self.sim.process(deliver(), name=f"envelope:msg{record.seq}")
 
+    def _send_cts(self, record: MessageRecord) -> bool:
+        """Offer the CTS for a matched RPUT/PIPELINE message.
+
+        Returns True when a CTS actually left.  A lost CTS is never
+        retransmitted directly — the sender's RTS watchdog times out,
+        its duplicate RTS reaches us, and we offer again.  No-op for
+        CTS-less protocols, unmatched records, and already-sent CTS.
+        """
+        rreq = record.matched
+        if rreq is None or record.protocol not in (RPUT, PIPELINE):
+            return False
+        if record.cts_event.triggered:
+            return False
+        faults = self.sim.faults
+        if faults is not None and faults.drop_control("cts"):
+            return False  # eaten by the fabric; sender will re-RTS
+        record.cts_event.succeed(
+            delay=self.cluster.control_latency(rreq.rank, record.source)
+        )
+        return True
+
     def _on_match(self, rank: "Rank", result) -> None:
         """Receiver-side reactions once a message is matched (§IV-B2)."""
         record: MessageRecord = result.record
         rreq: RecvRequest = result.request
         if record.protocol in (RPUT, PIPELINE):
-            # CTS travels back to the sender.
-            record.cts_event.succeed(
-                delay=self.cluster.control_latency(rreq.rank, record.source)
-            )
+            # CTS travels back to the sender (may be lost under faults;
+            # the sender's watchdog then provokes a re-offer).
+            self._send_cts(record)
             self.sim.process(self._receiver_unpack(rank, rreq), name=f"unpack:msg{record.seq}")
         elif record.protocol == RGET:
             self.sim.process(

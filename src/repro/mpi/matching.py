@@ -62,6 +62,10 @@ class MessageRecord:
     matched: Optional[RecvRequest] = None
     #: sender-side context for one-sided reads / DirectIPC
     sender_context: object = None
+    #: True once the envelope reached the receiver's matching engine —
+    #: duplicate deliveries (watchdog RTS retransmits under fault
+    #: injection) are deduplicated on this flag instead of matching twice
+    envelope_delivered: bool = False
 
     def __post_init__(self) -> None:
         if self.cts_event is None:

@@ -20,16 +20,31 @@ Protocol processes never charge CPU-bucket costs themselves (control
 packets ride the NIC); CPU costs live in the schemes.  Byte movement
 happens at simulated completion instants, keeping memory state
 consistent with the clock.
+
+Fault tolerance
+---------------
+Under an attached :class:`~repro.sim.faults.FaultPlan`, RTS and CTS
+control packets can be lost.  Rendezvous senders therefore arm a
+**control watchdog** (:func:`arm_control_watchdog`): if the expected
+response (CTS for RPUT/PIPELINE, payload pull for RGET) has not arrived
+within a retransmission timeout, the RTS is re-sent with capped
+exponential backoff.  The receiver deduplicates retransmitted RTS on
+the record's ``envelope_delivered`` flag and re-offers a lost CTS, so
+duplicates are harmless — MPI matching happens exactly once per
+message.  Watchdogs are armed only when a fault plan is attached;
+fault-free runs are bit-identical to the watchdog-free implementation.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
 from ..net.transfer import rdma_read, rdma_write
-from ..sim.engine import Event
+from ..sim.engine import Event, Process
+from ..sim.faults import FaultError
 from .matching import MessageRecord
 from .request import RecvRequest, SendRequest
 
@@ -42,6 +57,8 @@ __all__ = [
     "RPUT",
     "DIRECT",
     "PIPELINE",
+    "WatchdogStats",
+    "arm_control_watchdog",
     "sender_eager",
     "sender_rput",
     "sender_rget",
@@ -49,6 +66,66 @@ __all__ = [
     "sender_pipeline",
     "receiver_pull_rget",
 ]
+
+#: hard cap on RTS retransmissions per message — diagnostic backstop,
+#: unreachable for valid fault specs (drop probability <= 0.9)
+MAX_CONTROL_RETRANSMITS = 10_000
+#: retransmission-timeout growth ceiling, in multiples of the base RTO
+WATCHDOG_BACKOFF_CAP = 16.0
+
+
+@dataclass
+class WatchdogStats:
+    """Control-plane recovery counters of one :class:`Runtime`."""
+
+    #: RTS packets re-sent by sender watchdogs
+    rts_retransmits: int = 0
+    #: CTS offers repeated after a duplicate RTS found the CTS lost
+    cts_resends: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total control-plane recovery actions."""
+        return self.rts_retransmits + self.cts_resends
+
+
+def arm_control_watchdog(
+    runtime: "Runtime", rank: "Rank", record: MessageRecord, awaited: Event
+) -> Optional[Process]:
+    """Retransmit ``record``'s RTS until ``awaited`` fires.
+
+    Armed only under fault injection (``sim.faults`` attached) so
+    fault-free runs keep their exact event timeline.  The retransmission
+    timeout starts at four control one-way latencies plus one progress
+    poll interval and doubles per retry, capped at
+    :data:`WATCHDOG_BACKOFF_CAP` times the base.
+    """
+    sim = rank.sim
+    if sim.faults is None:
+        return None
+    base_rto = (
+        4.0 * runtime.cluster.control_latency(record.source, record.dest)
+        + runtime.poll_interval
+    )
+
+    def watchdog() -> Generator[Event, None, None]:
+        rto = base_rto
+        retransmits = 0
+        while not awaited.triggered:
+            yield sim.any_of([awaited, sim.timeout(rto)])
+            if awaited.triggered:
+                return
+            retransmits += 1
+            if retransmits > MAX_CONTROL_RETRANSMITS:
+                raise FaultError(
+                    f"msg{record.seq}: control watchdog exhausted after "
+                    f"{retransmits} RTS retransmissions"
+                )
+            runtime.recovery.rts_retransmits += 1
+            runtime._deliver_envelope(record)
+            rto = min(rto * 2.0, WATCHDOG_BACKOFF_CAP * base_rto)
+
+    return sim.process(watchdog(), name=f"watchdog:msg{record.seq}")
 
 EAGER = "eager"
 RGET = "rget"
@@ -102,6 +179,7 @@ def sender_rput(
 ) -> Generator[Event, None, None]:
     """RPUT: RTS early; write when pack completes *and* CTS arrives."""
     runtime._deliver_envelope(record)  # RTS leaves immediately
+    arm_control_watchdog(runtime, rank, record, record.cts_event)
     pack_done = _pack_done_event(rank, sreq)
     yield rank.sim.all_of([pack_done, record.cts_event])
     snapshot = _snapshot_payload(sreq)
@@ -121,6 +199,8 @@ def sender_rget(
     yield _pack_done_event(rank, sreq)
     record.sender_context = sreq
     runtime._deliver_envelope(record)
+    # The pull starting (payload landing) proves the RTS arrived.
+    arm_control_watchdog(runtime, rank, record, record.payload_ready)
     yield record.fin_event
     sreq.wire_done.succeed()
     runtime._release_send_staging(sreq)
@@ -156,6 +236,7 @@ def sender_pipeline(
     from ..net.transfer import staged_host_copy  # local: avoid cycle at import
 
     runtime._deliver_envelope(record)  # RTS leaves immediately
+    arm_control_watchdog(runtime, rank, record, record.cts_event)
     pack_done = _pack_done_event(rank, sreq)
     yield rank.sim.all_of([pack_done, record.cts_event])
     snapshot = _snapshot_payload(sreq)

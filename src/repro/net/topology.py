@@ -132,6 +132,16 @@ class Cluster:
             self._internode[key] = link
         return link, f"{src}->{dst}"
 
+    def links(self):
+        """Every live link of the cluster (node-local and inter-node).
+
+        Used by the harness to aggregate byte counters and fault
+        recovery statistics (retransmits) across the whole fabric.
+        """
+        yield from self._node_cpu_gpu
+        yield from self._node_gpu_gpu
+        yield from self._internode.values()
+
     def control_latency(self, src: int, dst: int) -> float:
         """One-way latency of a control packet (RTS/CTS) between ranks."""
         link, _ = self.data_link(src, dst)

@@ -12,6 +12,14 @@ They advance the simulated clock only; the *byte* movement is performed
 by the caller at completion (the runtime copies packed bytes between
 simulated memories when the transfer event fires), keeping data state
 consistent with simulated time.
+
+All three helpers are failure-aware by construction: they ride
+:meth:`~repro.net.link.Link.transmit`, which (under an attached
+:class:`~repro.sim.faults.FaultPlan`) absorbs link flaps, latency
+spikes, and mid-flight transfer failures via retransmission with capped
+exponential backoff.  A helper therefore never returns until the bytes
+have genuinely made it across — faults only inflate the elapsed time it
+reports.
 """
 
 from __future__ import annotations

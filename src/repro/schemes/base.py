@@ -34,9 +34,16 @@ from typing import Any, Generator, List, Optional, Sequence
 from ..gpu.kernels import KernelOp, OpKind
 from ..net.topology import RankSite
 from ..sim.engine import Event, Simulator
+from ..sim.faults import FaultError
 from ..sim.trace import Category, Trace
 
 __all__ = ["OpHandle", "PackingScheme", "SchemeCapabilities"]
+
+#: hard cap on per-operation launch retries — diagnostic backstop,
+#: unreachable for valid fault specs (failure probability <= 0.9)
+MAX_LAUNCH_ATTEMPTS = 10_000
+#: launch-retry backoff ceiling, in multiples of the launch overhead
+LAUNCH_BACKOFF_CAP_FACTOR = 64
 
 
 @dataclass(frozen=True)
@@ -98,6 +105,8 @@ class PackingScheme(ABC):
         self.trace = trace if trace is not None else Trace()
         #: handles submitted and not yet retired (for diagnostics)
         self.outstanding: List[OpHandle] = []
+        #: kernel launches retried after an injected driver failure
+        self.launch_retries = 0
 
     # -- core operations -----------------------------------------------------
     @abstractmethod
@@ -154,6 +163,39 @@ class PackingScheme(ABC):
             start = self.sim.now
             yield self.sim.timeout(duration)
             self.trace.charge(category, start, self.sim.now, label=label)
+
+    def _launch_overhead(self, label: str = "") -> SchemeGen:
+        """Pay one kernel-launch driver call, surviving injected failures.
+
+        Under an attached :class:`~repro.sim.faults.FaultPlan` a launch
+        can fail at the driver; the scheme retries it with capped
+        exponential backoff (retries counted in
+        :attr:`launch_retries`, backoff charged to ``SYNC``).  Without a
+        plan this is exactly one ``LAUNCH`` charge — the clean timeline
+        is untouched.
+        """
+        arch = self.site.device.arch
+        faults = self.sim.faults
+        yield from self._charge(Category.LAUNCH, arch.kernel_launch_overhead, label)
+        if faults is None:
+            return
+        backoff = arch.kernel_launch_overhead
+        attempts = 0
+        while faults.launch_fails():
+            self.launch_retries += 1
+            attempts += 1
+            if attempts >= MAX_LAUNCH_ATTEMPTS:
+                raise FaultError(
+                    f"{self.name}: kernel launch still failing after "
+                    f"{attempts} attempts"
+                )
+            yield from self._charge(Category.SYNC, backoff, f"{label}:backoff")
+            backoff = min(
+                backoff * 2.0, LAUNCH_BACKOFF_CAP_FACTOR * arch.kernel_launch_overhead
+            )
+            yield from self._charge(
+                Category.LAUNCH, arch.kernel_launch_overhead, label
+            )
 
     def _discovered(self, done: Event, extra_delay) -> Event:
         """Event firing when the *progress engine notices* completion.

@@ -88,9 +88,7 @@ class GPUAsyncScheme(PackingScheme):
         chunk_compute = max(0.0, op.duration - arch.kernel_fixed_cost) / chunks
         done = None
         for chunk in range(chunks):
-            yield from self._charge(
-                Category.LAUNCH, arch.kernel_launch_overhead, f"{label}#{chunk}"
-            )
+            yield from self._launch_overhead(f"{label}#{chunk}")
             is_last = chunk == chunks - 1
             done = stream.enqueue_callable(
                 arch.kernel_fixed_cost + chunk_compute,

@@ -42,7 +42,7 @@ class GPUSyncScheme(PackingScheme):
 
     def submit(self, op: KernelOp, label: str = "") -> SchemeGen:
         arch = self.site.device.arch
-        yield from self._charge(Category.LAUNCH, arch.kernel_launch_overhead, label)
+        yield from self._launch_overhead(label)
         done = self.stream.enqueue(op)
         # cudaStreamSynchronize: the CPU blocks for the kernel's whole
         # execution, then pays the synchronize call itself.

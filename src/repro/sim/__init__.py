@@ -20,6 +20,7 @@ from .engine import (
 )
 from .resources import Channel, Resource, Store
 from .chrometrace import chrome_trace_events, export_chrome_trace
+from .faults import FAULT_PRESETS, FaultError, FaultPlan, FaultSpec, FaultStats
 from .noise import NoiseModel
 from .timeline import render_timeline
 from .trace import Category, Span, Trace
@@ -42,6 +43,11 @@ __all__ = [
     "render_timeline",
     "chrome_trace_events",
     "NoiseModel",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
+    "FaultError",
+    "FAULT_PRESETS",
     "export_chrome_trace",
     "us",
     "ns",

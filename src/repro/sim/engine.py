@@ -345,6 +345,10 @@ class Simulator:
         #: optional multiplicative jitter applied by streams and links
         #: (see :mod:`repro.sim.noise`); None = exact determinism
         self.noise = None
+        #: optional seeded fault-injection plan consulted by links,
+        #: protocols, and the fusion scheduler (see
+        #: :mod:`repro.sim.faults`); None = a perfect fabric and GPU
+        self.faults = None
 
     # -- clock -------------------------------------------------------------
     @property

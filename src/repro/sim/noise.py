@@ -18,6 +18,7 @@ Usage::
 from __future__ import annotations
 
 import math
+import zlib
 
 import numpy as np
 
@@ -49,6 +50,9 @@ class NoiseModel:
             return 1.0
         rng = self._rngs.get(channel)
         if rng is None:
-            rng = np.random.default_rng((self.seed, hash(channel) & 0xFFFF))
+            # crc32, not hash(): str hashing is salted by PYTHONHASHSEED,
+            # which would break "deterministic given the seed" across
+            # processes.
+            rng = np.random.default_rng((self.seed, zlib.crc32(channel.encode("utf-8"))))
             self._rngs[channel] = rng
         return float(rng.lognormal(self._mu, self._sigma))

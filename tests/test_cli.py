@@ -8,7 +8,10 @@ from repro.cli import build_parser, main
 def test_parser_lists_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("compare", "breakdown", "sweep", "autotune", "workloads", "timeline"):
+    for command in (
+        "compare", "breakdown", "sweep", "autotune", "faults",
+        "workloads", "timeline",
+    ):
         assert command in text
 
 
@@ -68,6 +71,42 @@ def test_autotune_command(capsys):
     out = capsys.readouterr().out
     assert "model-based recommendation" in out
     assert "empirical best" in out
+
+
+def test_faults_command(capsys):
+    rc = main([
+        "faults", "--workload", "NAS_MG", "--dim", "32", "--nbuffers", "4",
+        "--iterations", "2", "--presets", "light", "heavy",
+        "--seed", "7", "--verbose",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fault-free baseline" in out
+    assert "light" in out and "heavy" in out
+    assert "bytes ok" in out
+    assert "seed=7" in out
+
+
+def test_seed_flag_reproduces_and_varies(capsys):
+    def sweep(seed):
+        main([
+            "faults", "--workload", "NAS_MG", "--dim", "32", "--nbuffers",
+            "4", "--iterations", "2", "--presets", "heavy", "--seed", seed,
+        ])
+        return capsys.readouterr().out
+
+    first, again, other = sweep("1"), sweep("1"), sweep("99")
+    assert first == again
+    assert first != other
+
+
+def test_noise_flag_accepted(capsys):
+    rc = main([
+        "compare", "--workload", "NAS_MG", "--dim", "32", "--nbuffers", "2",
+        "--iterations", "2", "--skip-production", "--noise", "0.05",
+    ])
+    assert rc == 0
+    assert "Proposed" in capsys.readouterr().out
 
 
 def test_unknown_command_rejected():
