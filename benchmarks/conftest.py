@@ -14,6 +14,10 @@ paper's evaluation (Section V).  Conventions:
   are the simulated microseconds inside the tables.
 * Shape assertions (who wins, where crossovers fall) make each figure a
   regression test of the reproduction, not just a printout.
+* The ``artifact`` fixture writes a machine-readable
+  ``BENCH_<name>.json`` (schema :data:`repro.obs.SCHEMA`) next to the
+  ``.txt`` table — the perf trajectory the ``repro regress`` gate and
+  CI diff across commits.
 """
 
 from __future__ import annotations
@@ -36,6 +40,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: state needs only a couple of iterations past the cache-warming one)
 ITERATIONS = 2
 WARMUP = 1
+
+#: harness parameters recorded in every artifact entry so
+#: ``repro.obs.regress.rerun_entry`` can reproduce the number
+RUN_PARAMS = {"iterations": ITERATIONS, "warmup": WARMUP, "data_plane": False}
 
 
 def proposed_factory(
@@ -96,6 +104,19 @@ def best_speedup(results, scheme: str, over: str) -> float:
         results[over][d].mean_latency / results[scheme][d].mean_latency
         for d in results[scheme]
     )
+
+
+@pytest.fixture()
+def artifact():
+    """Write a versioned ``BENCH_<name>.json`` under results/."""
+    from repro.obs import artifact_path, experiment_artifact, write_bench_artifact
+
+    def emit(name, entries=(), *, data=None, meta=None) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        doc = experiment_artifact(name, entries, data=data, meta=meta)
+        return write_bench_artifact(artifact_path(str(RESULTS_DIR), name), doc)
+
+    return emit
 
 
 @pytest.fixture()

@@ -22,7 +22,7 @@ def _kernel_time(arch, spec):
     return kernel_compute_time(arch, lay.size, lay.num_blocks, lay.mean_block)
 
 
-def test_fig01_launch_vs_pack(benchmark, report):
+def test_fig01_launch_vs_pack(benchmark, report, artifact):
     specs = {
         "Specfem3D": WORKLOADS["specfem3D_cm"](2000),
         "MILC": WORKLOADS["MILC"](16),
@@ -39,6 +39,7 @@ def test_fig01_launch_vs_pack(benchmark, report):
             f"{entry['Specfem3D'] * 1e6:>14.2f}us{entry['MILC'] * 1e6:>12.2f}us"
         )
 
+    artifact("fig01_launch_overhead", data=data)
     header = f"{'architecture':<16}{'launch':>12}{'Specfem3D':>16}{'MILC':>14}"
     report(
         "fig01_launch_overhead",

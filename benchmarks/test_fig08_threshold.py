@@ -23,7 +23,8 @@ from repro.bench import run_bulk_exchange
 from repro.net import LASSEN
 from repro.workloads import WORKLOADS
 
-from conftest import ITERATIONS, WARMUP, proposed_factory
+from conftest import ITERATIONS, RUN_PARAMS, WARMUP, proposed_factory
+from repro.obs import result_entry
 
 KiB = 1024
 THRESHOLDS = [16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB,
@@ -43,14 +44,24 @@ def _run(dim, threshold):
     )
 
 
-def test_fig08_threshold_sweep(benchmark, report):
+def test_fig08_threshold_sweep(benchmark, report, artifact):
     grid = {dim: {} for dim in DIMS}
     stats = {dim: {} for dim in DIMS}
+    entries = []
     for dim in DIMS:
         for threshold in THRESHOLDS:
             r = _run(dim, threshold)
             grid[dim][threshold] = r.mean_latency
             stats[dim][threshold] = r.scheduler_stats
+            entries.append(
+                result_entry(
+                    r,
+                    key=f"thr={threshold // KiB}KB/dim={dim}",
+                    config={"threshold_bytes": threshold},
+                    run=RUN_PARAMS,
+                )
+            )
+    artifact("fig08_threshold", entries)
 
     header = f"{'threshold':>12}" + "".join(f"{'dim=' + str(d):>14}" for d in DIMS) + \
         f"{'launches(d=%d)' % DIMS[-1]:>16}"

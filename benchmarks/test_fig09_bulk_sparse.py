@@ -19,8 +19,9 @@ from repro.net import LASSEN
 from repro.schemes import SCHEME_REGISTRY
 from repro.workloads import WORKLOADS
 
-from conftest import ITERATIONS, WARMUP, best_speedup, proposed_factory
+from conftest import ITERATIONS, RUN_PARAMS, WARMUP, best_speedup, proposed_factory
 from repro.bench import run_bulk_exchange
+from repro.obs import entries_from_grid
 
 DIM = 1000
 NBUFFERS = [1, 2, 4, 8, 16]
@@ -44,8 +45,12 @@ def _run_all():
     return results
 
 
-def test_fig09_bulk_sparse_lassen(benchmark, report):
+def test_fig09_bulk_sparse_lassen(benchmark, report, artifact):
     results = _run_all()
+    artifact(
+        "fig09_bulk_sparse",
+        entries_from_grid(results, column="nbuf", run=RUN_PARAMS),
+    )
     report(
         "fig09_bulk_sparse",
         format_latency_table(

@@ -20,7 +20,8 @@ from repro.net import LASSEN
 from repro.schemes import SCHEME_REGISTRY
 from repro.workloads import WORKLOADS
 
-from conftest import ITERATIONS, WARMUP, proposed_factory
+from conftest import ITERATIONS, RUN_PARAMS, WARMUP, proposed_factory
+from repro.obs import entries_from_grid
 
 DIM_SMALL = 4   # ~1.5 KB messages: hybrid's GDRCopy sweet spot
 DIM = 16        # ~96 KB messages
@@ -45,9 +46,16 @@ def _grid(dim):
     return results
 
 
-def test_fig10_bulk_dense_lassen(benchmark, report):
+def test_fig10_bulk_dense_lassen(benchmark, report, artifact):
     big = _grid(DIM)
     small = _grid(DIM_SMALL)
+    artifact(
+        "fig10_bulk_dense",
+        entries_from_grid(big, column="nbuf", run=RUN_PARAMS)
+        + entries_from_grid(
+            small, column="nbuf", key_prefix=f"dim={DIM_SMALL}", run=RUN_PARAMS
+        ),
+    )
     text = format_latency_table(
         big,
         title=f"Fig. 10 — bulk dense (MILC dim={DIM}) on Lassen, 1-16 buffers",

@@ -25,7 +25,8 @@ from repro.schemes import SCHEME_REGISTRY
 from repro.sim import Category, us
 from repro.workloads import WORKLOADS
 
-from conftest import ITERATIONS, WARMUP, proposed_factory
+from conftest import ITERATIONS, RUN_PARAMS, WARMUP, proposed_factory
+from repro.obs import result_entry
 
 NBUF = 16
 DIM = 16
@@ -43,9 +44,23 @@ def _run(factory):
     )
 
 
-def test_fig11_time_breakdown(benchmark, report):
+def test_fig11_time_breakdown(benchmark, report, artifact):
     results = [_run(f) for f in SCHEMES.values()]
     by_name = dict(zip(SCHEMES, results))
+    artifact(
+        "fig11_breakdown",
+        [
+            result_entry(
+                r,
+                key=name,
+                config=(
+                    {"threshold_bytes": 512 * 1024} if name == "Proposed" else None
+                ),
+                run=RUN_PARAMS,
+            )
+            for name, r in by_name.items()
+        ],
+    )
     report(
         "fig11_breakdown",
         format_breakdown_table(

@@ -25,7 +25,8 @@ from repro.net import LASSEN
 from repro.schemes import SCHEME_REGISTRY
 from repro.workloads import WORKLOADS
 
-from conftest import ITERATIONS, WARMUP, best_speedup, proposed_factory
+from conftest import ITERATIONS, RUN_PARAMS, WARMUP, best_speedup, proposed_factory
+from repro.obs import entries_from_grid
 
 KiB = 1024
 SWEEPS = {
@@ -138,8 +139,21 @@ def emit_tables(report, name, system_label, tables):
     report(name.lower().replace(". ", "").replace(" ", "_"), "\n\n".join(chunks))
 
 
-def test_fig12_lassen(benchmark, report):
+def figure_entries(tables):
+    """Artifact entries for a fig-12/13 per-workload table set."""
+    entries = []
+    for workload, grid in tables.items():
+        entries.extend(
+            entries_from_grid(
+                grid, column="dim", key_prefix=workload, run=RUN_PARAMS
+            )
+        )
+    return entries
+
+
+def test_fig12_lassen(benchmark, report, artifact):
     tables = run_figure(LASSEN)
+    artifact("fig12", figure_entries(tables))
     emit_tables(report, "Fig12", "Lassen", tables)
     check_figure_shape(tables, sparse_min_speedup=3.0)
     benchmark.pedantic(

@@ -24,11 +24,14 @@ from repro.workloads import WORKLOADS
 
 from conftest import ITERATIONS, WARMUP, best_speedup, proposed_factory
 from repro.bench import run_bulk_exchange
-from test_fig12_lassen import SWEEPS, check_figure_shape, emit_tables, run_figure, _run
+from test_fig12_lassen import (
+    SWEEPS, check_figure_shape, emit_tables, figure_entries, run_figure, _run,
+)
 
 
-def test_fig13_abci(benchmark, report):
+def test_fig13_abci(benchmark, report, artifact):
     tables = run_figure(ABCI)
+    artifact("fig13", figure_entries(tables))
     emit_tables(report, "Fig13", "ABCI", tables)
     check_figure_shape(tables, sparse_min_speedup=3.5)
 

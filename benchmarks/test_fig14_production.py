@@ -19,7 +19,8 @@ from repro.net import LASSEN
 from repro.schemes import SCHEME_REGISTRY
 from repro.workloads import WORKLOADS
 
-from conftest import ITERATIONS, WARMUP, proposed_factory
+from conftest import ITERATIONS, RUN_PARAMS, WARMUP, proposed_factory
+from repro.obs import entries_from_grid
 
 CASES = {
     "specfem3D_cm": [250, 1000],  # sparse
@@ -45,11 +46,17 @@ def _grid(workload, dims):
     return out
 
 
-def test_fig14_production_libraries(benchmark, report):
+def test_fig14_production_libraries(benchmark, report, artifact):
     chunks = []
     grids = {}
+    entries = []
     for workload, dims in CASES.items():
         grids[workload] = _grid(workload, dims)
+        entries.extend(
+            entries_from_grid(
+                grids[workload], column="dim", key_prefix=workload, run=RUN_PARAMS
+            )
+        )
         chunks.append(
             format_speedup_table(
                 grids[workload],
@@ -60,6 +67,7 @@ def test_fig14_production_libraries(benchmark, report):
                 ),
             )
         )
+    artifact("fig14_production", entries)
     report("fig14_production", "\n\n".join(chunks))
 
     sparse = speedup_matrix(grids["specfem3D_cm"], "SpectrumMPI")

@@ -37,7 +37,7 @@ def format_latency_table(
     """
     schemes = list(results.keys())
     columns = sorted({c for per in results.values() for c in per})
-    width = max(12, max(len(s) for s in schemes) + 2)
+    width = max(12, max((len(s) for s in schemes), default=0) + 2)
     lines = [title, "=" * len(title)]
     header = f"{'scheme':<{width}}" + "".join(
         f"{column_label}={c:<12}" for c in columns
@@ -73,7 +73,7 @@ def format_breakdown_table(
 ) -> str:
     """Fig. 11-style table: one row per scheme, one column per bucket."""
     cats = [Category.PACK, Category.LAUNCH, Category.SCHED, Category.SYNC, Category.COMM]
-    width = max(16, max(len(r.scheme) for r in results) + 2)
+    width = max(16, max((len(r.scheme) for r in results), default=0) + 2)
     lines = [title, "=" * len(title)]
     header = f"{'scheme':<{width}}" + "".join(f"{c.value:>12}" for c in cats) + f"{'total':>12}"
     lines.append(header)
@@ -93,7 +93,7 @@ def speedup_matrix(
     better").
     """
     out: Dict[str, Dict[int, float]] = {}
-    ref = results[reference]
+    ref = results.get(reference, {})
     for scheme, per in results.items():
         out[scheme] = {
             c: ref[c].mean_latency / r.mean_latency
@@ -113,7 +113,7 @@ def format_speedup_table(
     """Fig. 14-style normalized table (higher is better)."""
     matrix = speedup_matrix(results, reference)
     columns = sorted({c for per in matrix.values() for c in per})
-    width = max(16, max(len(s) for s in matrix) + 2)
+    width = max(16, max((len(s) for s in matrix), default=0) + 2)
     lines = [title, "=" * len(title)]
     header = f"{'scheme':<{width}}" + "".join(f"{column_label}={c:<12}" for c in columns)
     lines.append(header)

@@ -38,6 +38,8 @@ from ..datatypes.layout import DataLayout
 from ..mpi.communicator import Runtime
 from ..net.systems import SystemConfig
 from ..net.topology import Cluster
+from ..obs.metrics import MetricsSnapshot
+from ..obs.observer import Observer
 from ..schemes.base import PackingScheme
 from ..sim.engine import Simulator
 from ..sim.faults import FaultPlan
@@ -76,6 +78,35 @@ class RecoveryReport:
     deadline_relaunches: int = 0
     #: enqueues pushed onto the negative-UID fallback path
     ring_fallbacks: int = 0
+
+    @classmethod
+    def from_metrics(
+        cls, snapshot: MetricsSnapshot, injected: Dict[str, int]
+    ) -> "RecoveryReport":
+        """Build the report from a telemetry snapshot.
+
+        Every recovery counter is incremented at exactly one code site,
+        which updates the legacy per-object counter *and* the metrics
+        registry together — so reading the registry here is the same
+        numbers as the old scatter-gather over links, runtime, and
+        schemes, from one source of truth (:mod:`repro.obs`).
+        ``snapshot.total`` sums across label sets (per-link, per-scheme).
+        """
+        return cls(
+            injected=dict(injected),
+            link_retransmits=int(snapshot.total("link_retransmits_total")),
+            link_fault_delay=snapshot.total("link_fault_delay_seconds_total"),
+            rts_retransmits=int(snapshot.total("rts_retransmits_total")),
+            cts_resends=int(snapshot.total("cts_resends_total")),
+            relaunches=int(snapshot.total("sched_relaunches_total")),
+            batch_splits=int(snapshot.total("sched_batch_splits_total")),
+            sync_fallbacks=int(snapshot.total("sched_sync_fallbacks_total")),
+            launch_retries=int(snapshot.total("scheme_launch_retries_total")),
+            deadline_relaunches=int(
+                snapshot.total("sched_deadline_relaunches_total")
+            ),
+            ring_fallbacks=int(snapshot.total("sched_ring_fallbacks_total")),
+        )
 
     @property
     def total_injected(self) -> int:
@@ -135,6 +166,8 @@ class ExperimentResult:
     scheduler_stats: Optional[object] = None
     #: fault-injection recovery summary (fault runs only)
     recovery: Optional[RecoveryReport] = None
+    #: frozen telemetry counters (runs with an observer attached only)
+    metrics: Optional[MetricsSnapshot] = None
     #: message payload bytes (one buffer)
     message_bytes: int = 0
 
@@ -174,6 +207,7 @@ def run_bulk_exchange(
     seed: int = 42,
     noise: Optional[NoiseModel] = None,
     faults: Optional[FaultPlan] = None,
+    obs: Optional[Observer] = None,
 ) -> ExperimentResult:
     """Run one experiment and return its measurements.
 
@@ -186,12 +220,30 @@ def run_bulk_exchange(
     ``noise`` and ``faults`` attach an execution-noise model and a
     fault-injection plan to the simulator; with ``faults`` set the
     result carries a :class:`RecoveryReport`.
+
+    ``obs`` attaches a live :class:`~repro.obs.Observer`: the result
+    then carries a frozen :class:`~repro.obs.MetricsSnapshot` and, when
+    the observer's recorder is enabled, the per-rank cost-bucket traces
+    are absorbed onto its event stream (one track per rank).
+    Observation never consumes simulated time, so latencies are
+    identical with or without it.  Fault runs build their
+    :class:`RecoveryReport` from these metrics; an internal observer is
+    created when none is passed.
     """
     if iterations < 1 or warmup < 0:
         raise ValueError("need iterations >= 1 and warmup >= 0")
+    if obs is None and faults is not None:
+        # The recovery report is metrics-backed; fault runs always
+        # carry an observer even when the caller did not ask for one.
+        # Counters only — no event stream the caller never asked for.
+        from ..obs.recorder import NullRecorder
+
+        obs = Observer(recorder=NullRecorder())
     sim = Simulator()
     sim.noise = noise
     sim.faults = faults
+    if obs is not None:
+        sim.obs = obs
     cluster = Cluster(sim, system, nodes=2, ranks_per_node=1, functional=data_plane)
     runtime = Runtime(
         sim,
@@ -296,25 +348,15 @@ def run_bulk_exchange(
     if hasattr(scheme0, "scheduler"):
         result.scheduler_stats = scheme0.scheduler.stats
 
-    if faults is not None:
-        report = RecoveryReport(injected=faults.stats.as_dict())
-        for link in cluster.links():
-            report.link_retransmits += link.retransmits
-            report.link_fault_delay += link.fault_delay
-        report.rts_retransmits = runtime.recovery.rts_retransmits
-        report.cts_resends = runtime.recovery.cts_resends
-        for r in ranks:
-            report.launch_retries += getattr(r.scheme, "launch_retries", 0)
-            fallback = getattr(r.scheme, "fallback", None)
-            if fallback is not None:
-                report.launch_retries += getattr(fallback, "launch_retries", 0)
-            sched = getattr(r.scheme, "scheduler", None)
-            if sched is None:
-                continue
-            report.relaunches += sched.stats.relaunches
-            report.batch_splits += sched.stats.batch_splits
-            report.sync_fallbacks += sched.stats.sync_fallbacks
-            report.deadline_relaunches += sched.stats.deadline_relaunches
-            report.ring_fallbacks += sched.stats.fallbacks
-        result.recovery = report
+    if obs is not None:
+        if obs.recorder.enabled:
+            for r in ranks:
+                obs.recorder.absorb_trace(
+                    f"{result.scheme}/rank{r.rank_id}", r.trace
+                )
+        result.metrics = obs.snapshot()
+        if faults is not None:
+            result.recovery = RecoveryReport.from_metrics(
+                result.metrics, faults.stats.as_dict()
+            )
     return result

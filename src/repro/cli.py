@@ -9,12 +9,20 @@ without writing a script:
 * ``autotune``  — empirical + model-based threshold recommendations,
 * ``faults``    — chaos sweep: re-run one scheme under the fault
   presets and report latency inflation + recovery actions,
+* ``regress``   — perf-regression gate: compare a fresh run (or a
+  second artifact) against a stored ``BENCH_*.json`` baseline,
 * ``workloads`` — list the available workload generators,
 * ``describe``  — render a workload datatype's construction tree,
 * ``timeline``  — ASCII Gantt chart of one scheme's cost trace.
 
 ``--seed`` seeds both the payload RNG and (for ``faults``) the fault
 plan, so every run is reproducible end to end.
+
+Telemetry flags (all default-off; the default output of every command
+is byte-identical to running without :mod:`repro.obs` at all):
+``compare``/``faults`` accept ``--metrics PATH`` to dump every run's
+counters as Prometheus text, ``breakdown`` accepts ``--trace-out PATH``
+to export the unified event stream as a Chrome ``trace.json``.
 """
 
 from __future__ import annotations
@@ -68,7 +76,7 @@ def _noise(args) -> Optional[NoiseModel]:
     return None
 
 
-def _run(args, scheme_factory, faults: Optional[FaultPlan] = None):
+def _run(args, scheme_factory, faults: Optional[FaultPlan] = None, obs=None):
     return run_bulk_exchange(
         SYSTEMS[args.system],
         scheme_factory,
@@ -80,15 +88,38 @@ def _run(args, scheme_factory, faults: Optional[FaultPlan] = None):
         seed=args.seed,
         noise=_noise(args),
         faults=faults,
+        obs=obs,
+    )
+
+
+def _scheme_observer(registry, name: str, **extra: str):
+    """Counters-only observer tagging every series with the run identity.
+
+    All runs of one command share ``registry``, so the merged Prometheus
+    dump has one family per metric with a label per scheme/preset —
+    valid exposition text, no colliding series.
+    """
+    from .obs import NullRecorder, Observer
+
+    return Observer(
+        metrics=registry,
+        recorder=NullRecorder(),
+        const_labels={"scheme": name, **extra},
     )
 
 
 def cmd_compare(args) -> int:
+    registry = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     results = {}
     for name, factory in SCHEME_REGISTRY.items():
         if args.skip_production and name in ("SpectrumMPI", "OpenMPI"):
             continue
-        results[name] = {args.dim: _run(args, factory)}
+        obs = _scheme_observer(registry, name) if registry is not None else None
+        results[name] = {args.dim: _run(args, factory, obs=obs)}
     print(
         format_latency_table(
             results,
@@ -99,14 +130,38 @@ def cmd_compare(args) -> int:
             baseline="GPU-Sync",
         )
     )
+    if registry is not None:
+        with open(args.metrics, "w") as fh:
+            fh.write(registry.to_prometheus_text())
+        print(f"\nmetrics written to {args.metrics}")
     return 0
 
 
 def cmd_breakdown(args) -> int:
-    rows = [
-        _run(args, SCHEME_REGISTRY[name])
-        for name in ("GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed")
-    ]
+    recorder = None
+    if args.trace_out:
+        from .obs import Observer, Recorder
+
+        recorder = Recorder()
+    rows = []
+    for name in ("GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed"):
+        obs = None
+        if recorder is not None:
+            # Shared recorder; the runner prefixes per-rank trace tracks
+            # with the scheme name, and _rename below scopes the rest.
+            scheme_rec = Recorder()
+            obs = Observer(recorder=scheme_rec, const_labels={"scheme": name})
+        rows.append(_run(args, SCHEME_REGISTRY[name], obs=obs))
+        if recorder is not None:
+            import dataclasses
+
+            for event in scheme_rec.events:
+                track = event.track
+                if not track:
+                    track = name
+                elif not track.startswith(f"{name}/"):
+                    track = f"{name}/{track}"
+                recorder.events.append(dataclasses.replace(event, track=track))
     print(
         format_breakdown_table(
             rows,
@@ -116,6 +171,9 @@ def cmd_breakdown(args) -> int:
             ),
         )
     )
+    if recorder is not None:
+        count = recorder.export_chrome_trace(args.trace_out)
+        print(f"\n{count} trace events written to {args.trace_out}")
     return 0
 
 
@@ -162,8 +220,19 @@ def cmd_faults(args) -> int:
     has proven the headline invariant (faults cost time, never
     correctness).
     """
+    registry = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+    def observer(preset: str):
+        if registry is None:
+            return None
+        return _scheme_observer(registry, args.scheme, preset=preset)
+
     factory = SCHEME_REGISTRY[args.scheme]
-    clean = _run(args, factory)
+    clean = _run(args, factory, obs=observer("none"))
     print(
         f"Chaos sweep: {args.scheme} on {args.workload} dim={args.dim}, "
         f"{args.nbuffers} buffers, {args.system}, seed={args.seed}"
@@ -175,7 +244,7 @@ def cmd_faults(args) -> int:
     )
     for name in args.presets:
         plan = FaultPlan(seed=args.seed, spec=FAULT_PRESETS[name])
-        result = _run(args, factory, faults=plan)
+        result = _run(args, factory, faults=plan, obs=observer(name))
         rec = result.recovery
         print(
             f"{name:>10}{result.mean_latency * 1e6:>10.1f}us"
@@ -185,7 +254,35 @@ def cmd_faults(args) -> int:
         if args.verbose:
             for line in rec.describe().splitlines():
                 print("    " + line)
+    if registry is not None:
+        with open(args.metrics, "w") as fh:
+            fh.write(registry.to_prometheus_text())
+        print(f"\nmetrics written to {args.metrics}")
     return 0
+
+
+def cmd_regress(args) -> int:
+    """Perf-regression gate; exit 1 when the verdict is FAIL."""
+    from .obs import regress as _regress
+    from .obs.artifact import load_bench_artifact
+
+    baseline = load_bench_artifact(args.baseline)
+    if args.candidate:
+        candidate = load_bench_artifact(args.candidate)
+    else:
+        print(
+            f"re-running {len(baseline.get('entries', []))} entries of "
+            f"{args.baseline} ..."
+        )
+        candidate = _regress.rerun_artifact(baseline)
+    report = _regress.compare_artifacts(
+        baseline,
+        candidate,
+        tolerance=args.tolerance,
+        metrics=tuple(args.metric) if args.metric else _regress.DEFAULT_METRICS,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def cmd_workloads(_args) -> int:
@@ -254,10 +351,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-production", action="store_true",
         help="skip the (slow) SpectrumMPI/OpenMPI naive schemes",
     )
+    p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="dump per-scheme telemetry counters as Prometheus text",
+    )
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("breakdown", help="Fig. 11-style cost decomposition")
     _add_common(p)
+    p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="export the unified event stream as a Chrome trace.json",
+    )
     p.set_defaults(fn=cmd_breakdown)
 
     p = sub.add_parser("sweep", help="Fig. 8-style threshold sweep")
@@ -284,7 +389,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print per-preset recovery detail",
     )
+    p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="dump per-preset telemetry counters as Prometheus text",
+    )
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "regress", help="compare a run against a stored BENCH_*.json baseline"
+    )
+    p.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="stored benchmark artifact to gate against",
+    )
+    p.add_argument(
+        "--candidate", default=None, metavar="PATH",
+        help="second artifact to compare instead of re-running the baseline",
+    )
+    p.add_argument(
+        "--tolerance", type=_nonnegative_float, default=0.10,
+        help="allowed fractional slowdown per metric (default 0.10)",
+    )
+    p.add_argument(
+        "--metric", action="append", default=None, metavar="NAME",
+        help="artifact metric to watch (repeatable; default mean_latency; "
+        "breakdown.<bucket> paths allowed)",
+    )
+    p.set_defaults(fn=cmd_regress)
 
     p = sub.add_parser("workloads", help="list workload generators")
     p.set_defaults(fn=cmd_workloads)

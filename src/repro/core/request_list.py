@@ -76,6 +76,13 @@ class FusionRequest:
         """
         self.response_status = RequestStatus.COMPLETED
         self.completed_at = self.sim.now
+        if self.sim.obs.enabled:
+            # The full request lifecycle (enqueue → ... → GPU complete)
+            # as one span on the unified event stream.
+            self.sim.obs.span(
+                "request", f"uid{self.uid}", self.enqueued_at,
+                self.completed_at, uid=self.uid, nbytes=self.op.nbytes,
+            )
         if not self.done_event.triggered:
             self.done_event.succeed(self)
 
@@ -136,6 +143,7 @@ class CircularRequestList:
         """Insert at Tail; returns ``None`` when the ring is full."""
         if self._slots[self._tail] is not None:
             self.rejections += 1
+            self.sim.obs.count("fusion_ring_rejections_total")
             return None
         request = FusionRequest(
             uid=next(self._uids),
@@ -147,6 +155,8 @@ class CircularRequestList:
         self._slots[self._tail] = request
         self._tail = (self._tail + 1) % self.capacity
         self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        if self.sim.obs.enabled:
+            self.sim.obs.gauge_set("fusion_ring_occupancy", self.occupancy)
         return request
 
     def mark_busy(self, requests: List[FusionRequest]) -> None:
@@ -174,6 +184,8 @@ class CircularRequestList:
             reaped += 1
             if self._head == self._tail and self._slots[self._head] is None:
                 break
+        if reaped and self.sim.obs.enabled:
+            self.sim.obs.gauge_set("fusion_ring_occupancy", self.occupancy)
         return reaped
 
     def lookup(self, uid: int) -> Optional[FusionRequest]:

@@ -151,6 +151,7 @@ class Runtime:
                 # Duplicate RTS from a watchdog retransmit.
                 if self._send_cts(record):
                     self.recovery.cts_resends += 1
+                    self.sim.obs.count("cts_resends_total")
                 return
             record.envelope_delivered = True
             result = dest.matching.deliver_envelope(record)

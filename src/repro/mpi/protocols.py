@@ -122,6 +122,11 @@ def arm_control_watchdog(
                     f"{retransmits} RTS retransmissions"
                 )
             runtime.recovery.rts_retransmits += 1
+            sim.obs.count("rts_retransmits_total")
+            if sim.obs.enabled:
+                sim.obs.instant(
+                    "proto", "rts-retransmit", sim.now, msg=record.seq,
+                )
             runtime._deliver_envelope(record)
             rto = min(rto * 2.0, WATCHDOG_BACKOFF_CAP * base_rto)
 
@@ -132,6 +137,18 @@ RGET = "rget"
 RPUT = "rput"
 DIRECT = "direct"
 PIPELINE = "pipeline"
+
+
+def _note_rts(rank: "Rank", record: MessageRecord) -> None:
+    """Telemetry for a first (non-retransmitted) rendezvous RTS."""
+    obs = rank.sim.obs
+    obs.count("proto_rts_sent_total")
+    if obs.enabled:
+        obs.instant(
+            "proto", "rts", rank.sim.now,
+            track=f"rank{record.source}",
+            msg=record.seq, dest=record.dest, protocol=record.protocol,
+        )
 
 
 def _snapshot_payload(sreq: SendRequest):
@@ -178,6 +195,7 @@ def sender_rput(
     runtime: "Runtime", rank: "Rank", sreq: SendRequest, record: MessageRecord
 ) -> Generator[Event, None, None]:
     """RPUT: RTS early; write when pack completes *and* CTS arrives."""
+    _note_rts(rank, record)
     runtime._deliver_envelope(record)  # RTS leaves immediately
     arm_control_watchdog(runtime, rank, record, record.cts_event)
     pack_done = _pack_done_event(rank, sreq)
@@ -198,6 +216,7 @@ def sender_rget(
     """RGET: pack first, then RTS; the receiver pulls and FINs."""
     yield _pack_done_event(rank, sreq)
     record.sender_context = sreq
+    _note_rts(rank, record)
     runtime._deliver_envelope(record)
     # The pull starting (payload landing) proves the RTS arrived.
     arm_control_watchdog(runtime, rank, record, record.payload_ready)
@@ -235,6 +254,7 @@ def sender_pipeline(
     """
     from ..net.transfer import staged_host_copy  # local: avoid cycle at import
 
+    _note_rts(rank, record)
     runtime._deliver_envelope(record)  # RTS leaves immediately
     arm_control_watchdog(runtime, rank, record, record.cts_event)
     pack_done = _pack_done_event(rank, sreq)

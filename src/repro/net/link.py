@@ -140,6 +140,7 @@ class Link:
                 break
             # The attempt's wire time is lost; back off and retransmit.
             self.retransmits += 1
+            self.sim.obs.count("link_retransmits_total", link=self.name)
             attempts += 1
             if attempts >= MAX_TRANSMIT_ATTEMPTS:
                 raise FaultError(
@@ -148,9 +149,21 @@ class Link:
                 )
             yield self.sim.timeout(backoff)
             backoff = min(backoff * 2.0, BACKOFF_CAP_FACTOR * self.spec.latency)
-            self.fault_delay += self.sim.now - attempt_start
+            lost = self.sim.now - attempt_start
+            self.fault_delay += lost
+            self.sim.obs.count(
+                "link_fault_delay_seconds_total", lost, link=self.name
+            )
         self.bytes_carried += nbytes
         self.transfer_count += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.count("link_transfers_total", link=self.name)
+            obs.count("link_bytes_total", nbytes, link=self.name)
+            obs.span(
+                "link", "transfer", start, self.sim.now,
+                track=self.name, nbytes=nbytes,
+            )
         return self.sim.now - start
 
     def control_delay(self) -> float:

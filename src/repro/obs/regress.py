@@ -1,0 +1,263 @@
+"""Perf-regression gate: compare a run against a stored baseline.
+
+``repro regress --baseline benchmarks/results/BENCH_fig08.json``
+re-runs every entry of the baseline artifact (the simulator is
+deterministic, so an unchanged tree reproduces the numbers exactly)
+and fails — nonzero exit code — when any watched metric regresses past
+its tolerance.  ``--candidate`` skips the re-run and compares two
+artifact files instead, which is what CI does after the benchmark
+suite has refreshed ``benchmarks/results/``.
+
+A latency-like metric *regresses* when ``candidate > baseline × (1 +
+tolerance)``; improvements are reported but never fail the gate.
+Entries present in the baseline but missing from the candidate fail
+the gate too — a silently dropped measurement is how perf coverage
+rots.
+
+This module imports the benchmark runner, so import it directly
+(``from repro.obs import regress``) rather than from the package
+root — ``repro.obs``'s core stays importable before the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .artifact import experiment_artifact, result_entry
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "MetricCheck",
+    "RegressionReport",
+    "compare_artifacts",
+    "rerun_entry",
+    "rerun_artifact",
+]
+
+DEFAULT_TOLERANCE = 0.10
+#: artifact metrics the gate watches by default (latency-like: lower is
+#: better, regression = candidate above baseline by > tolerance)
+DEFAULT_METRICS = ("mean_latency",)
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One (entry, metric) comparison."""
+
+    key: str
+    metric: str
+    baseline: float
+    candidate: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf") if self.candidate > 0 else 1.0
+        return self.candidate / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        """True when the candidate is worse than tolerance allows."""
+        return self.candidate > self.baseline * (1.0 + self.tolerance)
+
+    @property
+    def improved(self) -> bool:
+        """True when the candidate beat the baseline by > tolerance."""
+        return self.candidate < self.baseline * (1.0 - self.tolerance)
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one baseline/candidate comparison."""
+
+    experiment: str
+    checks: List[MetricCheck] = field(default_factory=list)
+    #: baseline keys absent from the candidate (each fails the gate)
+    missing: List[str] = field(default_factory=list)
+    #: candidate keys absent from the baseline (informational)
+    extra: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricCheck]:
+        """Checks that exceeded their tolerance."""
+        return [c for c in self.checks if c.regressed]
+
+    @property
+    def improvements(self) -> List[MetricCheck]:
+        """Checks that beat the baseline by more than the tolerance."""
+        return [c for c in self.checks if c.improved]
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no regressions and no dropped entries."""
+        return not self.regressions and not self.missing
+
+    def describe(self) -> str:
+        """Multi-line report for the CLI / CI log."""
+        lines = [
+            f"regression gate — {self.experiment}: "
+            f"{len(self.checks)} checks, {len(self.regressions)} regressions, "
+            f"{len(self.improvements)} improvements, {len(self.missing)} missing"
+        ]
+        width = max([12] + [len(c.key) for c in self.checks]) + 2
+        for check in self.checks:
+            if check.regressed:
+                status = "REGRESSED"
+            elif check.improved:
+                status = "improved"
+            else:
+                status = "ok"
+            lines.append(
+                f"  {check.key:<{width}}{check.metric:<14}"
+                f"{check.baseline * 1e6:>10.2f}us ->{check.candidate * 1e6:>10.2f}us"
+                f"  {check.ratio:>6.3f}x  (tol {check.tolerance:.0%})  {status}"
+            )
+        for key in self.missing:
+            lines.append(f"  {key:<{width}}MISSING from candidate — gate fails")
+        for key in self.extra:
+            lines.append(f"  {key:<{width}}new in candidate (not gated)")
+        lines.append("verdict: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def compare_artifacts(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> RegressionReport:
+    """Check every baseline entry's metrics against the candidate.
+
+    ``tolerances`` overrides the global ``tolerance`` per metric name
+    (e.g. ``{"min_latency": 0.05}``).
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    report = RegressionReport(experiment=str(baseline.get("experiment", "?")))
+    base_entries = {e["key"]: e for e in baseline.get("entries", [])}
+    cand_entries = {e["key"]: e for e in candidate.get("entries", [])}
+    report.extra = sorted(set(cand_entries) - set(base_entries))
+    for key, base in base_entries.items():
+        cand = cand_entries.get(key)
+        if cand is None:
+            report.missing.append(key)
+            continue
+        for metric in metrics:
+            base_value = _metric_value(base, metric)
+            cand_value = _metric_value(cand, metric)
+            if base_value is None or cand_value is None:
+                continue
+            tol = tolerance if tolerances is None else tolerances.get(metric, tolerance)
+            report.checks.append(
+                MetricCheck(
+                    key=key,
+                    metric=metric,
+                    baseline=base_value,
+                    candidate=cand_value,
+                    tolerance=tol,
+                )
+            )
+    report.missing.sort()
+    return report
+
+
+def _metric_value(entry: Mapping[str, Any], metric: str) -> Optional[float]:
+    """Resolve a watched metric inside an entry.
+
+    Plain names read top-level scalars (``mean_latency``); a
+    ``breakdown.<bucket>`` path reads one Fig.-11 cost bucket.
+    """
+    if metric.startswith("breakdown."):
+        value = entry.get("breakdown", {}).get(metric.split(".", 1)[1])
+    else:
+        value = entry.get(metric)
+    if isinstance(value, (int, float)) and value == value:  # excludes NaN
+        return float(value)
+    return None
+
+
+# -- re-running baseline entries ------------------------------------------------
+
+
+def rerun_entry(entry: Mapping[str, Any], obs=None):
+    """Re-run one artifact entry; returns a fresh ``ExperimentResult``.
+
+    Reconstructs the experiment from the entry's stored configuration:
+    registry schemes by name, fusion-threshold variants through
+    ``config.threshold_bytes`` / ``config.capacity``.
+    """
+    from ..bench.runner import run_bulk_exchange
+    from ..net.systems import SYSTEMS
+    from ..workloads import WORKLOADS
+
+    run = dict(entry.get("run", {}))
+    return run_bulk_exchange(
+        SYSTEMS[entry["system"]],
+        _scheme_factory(entry),
+        WORKLOADS[entry["workload"]](entry["dim"]),
+        nbuffers=entry["nbuffers"],
+        iterations=int(run.get("iterations", 2)),
+        warmup=int(run.get("warmup", 1)),
+        data_plane=bool(run.get("data_plane", False)),
+        rendezvous_protocol=run.get("rendezvous_protocol", "rput"),
+        seed=int(run.get("seed", 42)),
+        obs=obs,
+    )
+
+
+def _scheme_factory(entry: Mapping[str, Any]):
+    from ..core import KernelFusionScheme
+    from ..core.fusion_policy import FusionPolicy
+    from ..schemes import SCHEME_REGISTRY
+
+    config = dict(entry.get("config", {}))
+    if "threshold_bytes" in config or "capacity" in config:
+        policy_kwargs = {
+            k: config[k]
+            for k in ("threshold_bytes", "max_batch_requests", "min_batch_requests")
+            if k in config
+        }
+
+        def factory(site, trace):
+            return KernelFusionScheme(
+                site,
+                trace,
+                policy=FusionPolicy(**policy_kwargs),
+                capacity=config.get("capacity", 256),
+            )
+
+        return factory
+    scheme = entry["scheme"]
+    if scheme not in SCHEME_REGISTRY:
+        raise KeyError(
+            f"entry {entry['key']!r}: scheme {scheme!r} is not in the registry "
+            "and carries no config — cannot re-run"
+        )
+    return SCHEME_REGISTRY[scheme]
+
+
+def rerun_artifact(
+    baseline: Mapping[str, Any], *, meta: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Re-run every entry of ``baseline``; returns a candidate artifact."""
+    entries = []
+    for entry in baseline.get("entries", []):
+        result = rerun_entry(entry)
+        entries.append(
+            result_entry(
+                result,
+                key=entry["key"],
+                config=entry.get("config"),
+                run=entry.get("run"),
+            )
+        )
+    return experiment_artifact(
+        str(baseline.get("experiment", "?")),
+        entries,
+        meta=dict(meta or {"rerun_of": baseline.get("meta", {})}),
+    )

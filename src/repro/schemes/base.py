@@ -176,6 +176,7 @@ class PackingScheme(ABC):
         """
         arch = self.site.device.arch
         faults = self.sim.faults
+        self.sim.obs.count("kernel_launches_total", scheme=self.name)
         yield from self._charge(Category.LAUNCH, arch.kernel_launch_overhead, label)
         if faults is None:
             return
@@ -183,6 +184,7 @@ class PackingScheme(ABC):
         attempts = 0
         while faults.launch_fails():
             self.launch_retries += 1
+            self.sim.obs.count("scheme_launch_retries_total", scheme=self.name)
             attempts += 1
             if attempts >= MAX_LAUNCH_ATTEMPTS:
                 raise FaultError(

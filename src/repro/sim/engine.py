@@ -34,6 +34,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.observer import NULL_OBSERVER
+
 __all__ = [
     "Simulator",
     "Event",
@@ -349,6 +351,11 @@ class Simulator:
         #: protocols, and the fusion scheduler (see
         #: :mod:`repro.sim.faults`); None = a perfect fabric and GPU
         self.faults = None
+        #: telemetry sink consulted by instrumented hot paths (see
+        #: :mod:`repro.obs`); the default NullObserver makes every
+        #: observation a constant-time no-op that never touches the
+        #: event calendar, so disabled telemetry cannot perturb timing
+        self.obs = NULL_OBSERVER
 
     # -- clock -------------------------------------------------------------
     @property

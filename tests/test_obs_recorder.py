@@ -1,0 +1,92 @@
+"""repro.obs.recorder — event stream, Chrome-trace and JSONL round trips."""
+
+import json
+
+import pytest
+
+from repro.obs import NullRecorder, Recorder
+from repro.sim.trace import Category, Trace
+
+
+def _sample() -> Recorder:
+    rec = Recorder()
+    rec.span("fusion", "queued", 1e-6, 3e-6, track="rank0", uid=7)
+    rec.span("link", "transfer", 2e-6, 9e-6, track="ib0", nbytes=4096)
+    rec.instant("proto", "rts", 2.5e-6, track="rank0", msg=0)
+    rec.span("fusion", "queued", 4e-6, 5e-6, track="rank0", uid=8)
+    return rec
+
+
+def test_span_rejects_negative_duration():
+    rec = Recorder()
+    with pytest.raises(ValueError):
+        rec.span("x", "bad", 2.0, 1.0)
+
+
+def test_tracks_first_appearance_order():
+    assert _sample().tracks() == ["rank0", "ib0"]
+
+
+def test_absorb_trace_folds_cost_buckets():
+    trace = Trace()
+    trace.charge(Category.PACK, 0.0, 1e-6, label="pack")
+    trace.charge(Category.LAUNCH, 1e-6, 2e-6)
+    rec = Recorder()
+    assert rec.absorb_trace("Proposed/rank0", trace) == 2
+    cats = {e.category for e in rec.events}
+    assert cats == {str(Category.PACK), str(Category.LAUNCH)}
+    assert all(e.track == "Proposed/rank0" for e in rec.events)
+
+
+def test_chrome_trace_round_trip(tmp_path):
+    rec = _sample()
+    path = tmp_path / "trace.json"
+    count = rec.export_chrome_trace(str(path))
+    assert count == 4
+    doc = json.loads(path.read_text())  # valid JSON by construction
+    events = doc["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(spans) == 3 and len(instants) == 1
+    # timestamps are microseconds and non-decreasing across the payload
+    payload = [e for e in events if e["ph"] in ("X", "i")]
+    ts = [e["ts"] for e in payload]
+    assert ts == sorted(ts)
+    assert payload[0]["ts"] == pytest.approx(1.0)  # 1e-6 s -> 1 us
+    # every payload event references a named process/thread
+    named_pids = {e["pid"] for e in meta if e["name"] == "process_name"}
+    assert {e["pid"] for e in payload} <= named_pids
+    # args survive
+    assert any(e.get("args", {}).get("uid") == 7 for e in spans)
+
+
+def test_jsonl_export_round_trip(tmp_path):
+    rec = _sample()
+    path = tmp_path / "events.jsonl"
+    assert rec.export_jsonl(str(path)) == 4
+    lines = path.read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert len(records) == 4
+    assert records[0]["name"] == "queued" and records[0]["dur"] > 0
+    assert records[2]["instant"] is True
+    # JSONL preserves record order (seconds, not microseconds)
+    assert records[1]["ts"] == pytest.approx(2e-6)
+
+
+def test_clear_empties_stream():
+    rec = _sample()
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.tracks() == []
+
+
+def test_null_recorder_is_a_no_op():
+    rec = NullRecorder()
+    rec.span("x", "s", 0.0, 1.0)
+    rec.instant("x", "i", 0.5)
+    trace = Trace()
+    trace.charge(Category.PACK, 0.0, 1e-6)
+    assert rec.absorb_trace("t", trace) == 0
+    assert len(rec) == 0
+    assert rec.enabled is False
