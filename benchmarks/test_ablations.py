@@ -20,10 +20,9 @@ show *why* the framework is built the way §IV describes.
    on modern GPUs deeper pipelining only hurts.
 """
 
-import pytest
 
 from repro.bench import run_bulk_exchange
-from repro.core import FusionPolicy, KernelFusionScheme, ModelBasedPolicy
+from repro.core import KernelFusionScheme, ModelBasedPolicy
 from repro.net import LASSEN
 from repro.schemes import GPUAsyncScheme, SCHEME_REGISTRY
 from repro.sim import us

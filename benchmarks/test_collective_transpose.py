@@ -9,8 +9,6 @@ unpacks P-1 row blocks per call — 6 fusable kernels per rank here,
 which the proposed framework batches into a handful of launches.
 """
 
-import numpy as np
-import pytest
 
 from repro.datatypes import DOUBLE, Contiguous, Resized, Vector
 from repro.mpi import Runtime, alltoall

@@ -10,7 +10,6 @@ per-operation driver overhead is a significant share of the transfer
 wins, with the biggest factors on the many-small-block layouts.
 """
 
-import pytest
 
 from repro.bench import format_latency_table, run_bulk_exchange
 from repro.net import LASSEN

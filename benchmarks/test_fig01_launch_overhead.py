@@ -11,35 +11,20 @@ kernels shrink from tens of µs (Kepler) to a few µs (Volta), so on
 Pascal/Volta the launch bar dominates.
 """
 
-import pytest
 
-from repro.gpu import ARCHITECTURES, kernel_compute_time
-from repro.workloads import WORKLOADS
+from repro.bench.figures import TABLE_BUILDERS
 
 
-def _kernel_time(arch, spec):
-    lay = spec.datatype.flatten().replicate(spec.count)
-    return kernel_compute_time(arch, lay.size, lay.num_blocks, lay.mean_block)
+def test_fig01_launch_vs_pack(benchmark, report, artifact, sweep_run):
+    run = sweep_run("fig01")
+    data = run.entries[0]["data"]
+    artifact(run)
 
-
-def test_fig01_launch_vs_pack(benchmark, report, artifact):
-    specs = {
-        "Specfem3D": WORKLOADS["specfem3D_cm"](2000),
-        "MILC": WORKLOADS["MILC"](16),
-    }
-    rows = []
-    data = {}
-    for arch_name, arch in ARCHITECTURES.items():
-        entry = {"launch": arch.kernel_launch_overhead}
-        for wl, spec in specs.items():
-            entry[wl] = _kernel_time(arch, spec)
-        data[arch_name] = entry
-        rows.append(
-            f"{arch_name:<16}{entry['launch'] * 1e6:>10.2f}us"
-            f"{entry['Specfem3D'] * 1e6:>14.2f}us{entry['MILC'] * 1e6:>12.2f}us"
-        )
-
-    artifact("fig01_launch_overhead", data=data)
+    rows = [
+        f"{arch_name:<16}{entry['launch'] * 1e6:>10.2f}us"
+        f"{entry['Specfem3D'] * 1e6:>14.2f}us{entry['MILC'] * 1e6:>12.2f}us"
+        for arch_name, entry in data.items()
+    ]
     header = f"{'architecture':<16}{'launch':>12}{'Specfem3D':>16}{'MILC':>14}"
     report(
         "fig01_launch_overhead",
@@ -60,7 +45,5 @@ def test_fig01_launch_vs_pack(benchmark, report, artifact):
     assert volta["launch"] > kepler["launch"] / 2
 
     benchmark.pedantic(
-        lambda: [_kernel_time(a, specs["MILC"]) for a in ARCHITECTURES.values()],
-        rounds=3,
-        iterations=10,
+        TABLE_BUILDERS["fig01_launch_overhead"], rounds=3, iterations=10
     )

@@ -17,51 +17,27 @@ Expected shape (paper, §IV-C): a U-curve per input size —
   inputs regress.
 """
 
-import pytest
 
-from repro.bench import run_bulk_exchange
-from repro.net import LASSEN
-from repro.workloads import WORKLOADS
-
-from conftest import ITERATIONS, RUN_PARAMS, WARMUP, proposed_factory
-from repro.obs import result_entry
+from repro.bench import ExperimentSpec
+from repro.bench.figures import FIG08_DIMS as DIMS
+from repro.bench.figures import FIG08_THRESHOLDS as THRESHOLDS
+from repro.bench.figures import fig08_views
 
 KiB = 1024
-THRESHOLDS = [16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB,
-              1024 * KiB, 2048 * KiB, 4096 * KiB]
-DIMS = [500, 2000, 4000]  # ~18 KB / 70 KB / 140 KB per message
 
 
-def _run(dim, threshold):
-    return run_bulk_exchange(
-        LASSEN,
-        proposed_factory(threshold_bytes=threshold),
-        WORKLOADS["specfem3D_cm"](dim),
-        nbuffers=16,
-        iterations=ITERATIONS,
-        warmup=WARMUP,
-        data_plane=False,
-    )
-
-
-def test_fig08_threshold_sweep(benchmark, report, artifact):
-    grid = {dim: {} for dim in DIMS}
-    stats = {dim: {} for dim in DIMS}
-    entries = []
-    for dim in DIMS:
-        for threshold in THRESHOLDS:
-            r = _run(dim, threshold)
-            grid[dim][threshold] = r.mean_latency
-            stats[dim][threshold] = r.scheduler_stats
-            entries.append(
-                result_entry(
-                    r,
-                    key=f"thr={threshold // KiB}KB/dim={dim}",
-                    config={"threshold_bytes": threshold},
-                    run=RUN_PARAMS,
-                )
-            )
-    artifact("fig08_threshold", entries)
+def test_fig08_threshold_sweep(benchmark, report, artifact, sweep_run):
+    run = sweep_run("fig08")
+    views = fig08_views(run.views)
+    grid = {
+        dim: {thr: view.mean_latency for thr, view in row.items()}
+        for dim, row in views.items()
+    }
+    stats = {
+        dim: {thr: view.scheduler_stats for thr, view in row.items()}
+        for dim, row in views.items()
+    }
+    artifact(run)
 
     header = f"{'threshold':>12}" + "".join(f"{'dim=' + str(d):>14}" for d in DIMS) + \
         f"{'launches(d=%d)' % DIMS[-1]:>16}"
@@ -98,4 +74,13 @@ def test_fig08_threshold_sweep(benchmark, report, artifact):
     best_4000 = min(grid[4000].values())
     assert grid[4000][4096 * KiB] > 1.05 * best_4000
 
-    benchmark.pedantic(lambda: _run(2000, 512 * KiB), rounds=1)
+    benchmark.pedantic(
+        lambda: ExperimentSpec(
+            experiment="pedantic",
+            key="fig08",
+            config={"threshold_bytes": 512 * KiB},
+            dim=2000,
+            iterations=1,
+        ).run_result(),
+        rounds=1,
+    )

@@ -12,45 +12,19 @@ hopeless against thousands of tiny blocks, so it falls back to the
 kernel path plus its adaptive overhead).
 """
 
-import pytest
 
-from repro.bench import format_latency_table
-from repro.net import LASSEN
-from repro.schemes import SCHEME_REGISTRY
-from repro.workloads import WORKLOADS
+from repro.bench import ExperimentSpec, format_latency_table
+from repro.bench.figures import BULK_NBUFFERS as NBUFFERS
+from repro.bench.figures import FIG09_DIM as DIM
+from repro.bench.figures import fig09_results
 
-from conftest import ITERATIONS, RUN_PARAMS, WARMUP, best_speedup, proposed_factory
-from repro.bench import run_bulk_exchange
-from repro.obs import entries_from_grid
-
-DIM = 1000
-NBUFFERS = [1, 2, 4, 8, 16]
-SCHEMES = {
-    "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
-    "GPU-Async": SCHEME_REGISTRY["GPU-Async"],
-    "CPU-GPU-Hybrid": SCHEME_REGISTRY["CPU-GPU-Hybrid"],
-    "Proposed": proposed_factory(),
-}
+from conftest import best_speedup
 
 
-def _run_all():
-    spec = WORKLOADS["specfem3D_cm"](DIM)
-    results = {name: {} for name in SCHEMES}
-    for nbuf in NBUFFERS:
-        for name, factory in SCHEMES.items():
-            results[name][nbuf] = run_bulk_exchange(
-                LASSEN, factory, spec, nbuffers=nbuf,
-                iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
-            )
-    return results
-
-
-def test_fig09_bulk_sparse_lassen(benchmark, report, artifact):
-    results = _run_all()
-    artifact(
-        "fig09_bulk_sparse",
-        entries_from_grid(results, column="nbuf", run=RUN_PARAMS),
-    )
+def test_fig09_bulk_sparse_lassen(benchmark, report, artifact, sweep_run):
+    run = sweep_run("fig09")
+    results = fig09_results(run.views)
+    artifact(run)
     report(
         "fig09_bulk_sparse",
         format_latency_table(
@@ -80,9 +54,8 @@ def test_fig09_bulk_sparse_lassen(benchmark, report, artifact):
     assert best_speedup(results, "Proposed", "CPU-GPU-Hybrid") > 2.5
 
     benchmark.pedantic(
-        lambda: run_bulk_exchange(
-            LASSEN, SCHEMES["Proposed"], WORKLOADS["specfem3D_cm"](DIM),
-            nbuffers=16, iterations=1, warmup=1, data_plane=False,
-        ),
+        lambda: ExperimentSpec(
+            experiment="pedantic", key="fig09", dim=DIM, iterations=1
+        ).run_result(),
         rounds=1,
     )

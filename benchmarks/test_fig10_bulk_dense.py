@@ -13,49 +13,18 @@ Expected shape (paper):
   interconnect (§V-B).
 """
 
-import pytest
 
-from repro.bench import format_latency_table, run_bulk_exchange
-from repro.net import LASSEN
-from repro.schemes import SCHEME_REGISTRY
-from repro.workloads import WORKLOADS
-
-from conftest import ITERATIONS, RUN_PARAMS, WARMUP, proposed_factory
-from repro.obs import entries_from_grid
-
-DIM_SMALL = 4   # ~1.5 KB messages: hybrid's GDRCopy sweet spot
-DIM = 16        # ~96 KB messages
-NBUFFERS = [1, 2, 4, 8, 16]
-SCHEMES = {
-    "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
-    "GPU-Async": SCHEME_REGISTRY["GPU-Async"],
-    "CPU-GPU-Hybrid": SCHEME_REGISTRY["CPU-GPU-Hybrid"],
-    "Proposed": proposed_factory(),
-}
+from repro.bench import ExperimentSpec, format_latency_table
+from repro.bench.figures import BULK_NBUFFERS as NBUFFERS
+from repro.bench.figures import FIG10_DIM as DIM
+from repro.bench.figures import FIG10_DIM_SMALL as DIM_SMALL
+from repro.bench.figures import fig10_results
 
 
-def _grid(dim):
-    spec = WORKLOADS["MILC"](dim)
-    results = {name: {} for name in SCHEMES}
-    for nbuf in NBUFFERS:
-        for name, factory in SCHEMES.items():
-            results[name][nbuf] = run_bulk_exchange(
-                LASSEN, factory, spec, nbuffers=nbuf,
-                iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
-            )
-    return results
-
-
-def test_fig10_bulk_dense_lassen(benchmark, report, artifact):
-    big = _grid(DIM)
-    small = _grid(DIM_SMALL)
-    artifact(
-        "fig10_bulk_dense",
-        entries_from_grid(big, column="nbuf", run=RUN_PARAMS)
-        + entries_from_grid(
-            small, column="nbuf", key_prefix=f"dim={DIM_SMALL}", run=RUN_PARAMS
-        ),
-    )
+def test_fig10_bulk_dense_lassen(benchmark, report, artifact, sweep_run):
+    run = sweep_run("fig10")
+    big, small = fig10_results(run.views)
+    artifact(run)
     text = format_latency_table(
         big,
         title=f"Fig. 10 — bulk dense (MILC dim={DIM}) on Lassen, 1-16 buffers",
@@ -96,9 +65,9 @@ def test_fig10_bulk_dense_lassen(benchmark, report, artifact):
         ), nbuf
 
     benchmark.pedantic(
-        lambda: run_bulk_exchange(
-            LASSEN, SCHEMES["Proposed"], WORKLOADS["MILC"](DIM),
-            nbuffers=16, iterations=1, warmup=1, data_plane=False,
-        ),
+        lambda: ExperimentSpec(
+            experiment="pedantic", key="fig10", workload="MILC", dim=DIM,
+            iterations=1,
+        ).run_result(),
         rounds=1,
     )

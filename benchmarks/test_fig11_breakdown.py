@@ -17,50 +17,19 @@ Expected shape (paper):
   observed communication to dominate.
 """
 
-import pytest
 
-from repro.bench import format_breakdown_table, run_bulk_exchange
-from repro.net import ABCI
-from repro.schemes import SCHEME_REGISTRY
+from repro.bench import ExperimentSpec, format_breakdown_table
+from repro.bench.figures import FIG11_DIM as DIM
+from repro.bench.figures import FIG11_NBUF as NBUF
+from repro.bench.figures import fig11_results
 from repro.sim import Category, us
-from repro.workloads import WORKLOADS
-
-from conftest import ITERATIONS, RUN_PARAMS, WARMUP, proposed_factory
-from repro.obs import result_entry
-
-NBUF = 16
-DIM = 16
-SCHEMES = {
-    "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
-    "GPU-Async": SCHEME_REGISTRY["GPU-Async"],
-    "Proposed": proposed_factory(),
-}
 
 
-def _run(factory):
-    return run_bulk_exchange(
-        ABCI, factory, WORKLOADS["MILC"](DIM), nbuffers=NBUF,
-        iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
-    )
-
-
-def test_fig11_time_breakdown(benchmark, report, artifact):
-    results = [_run(f) for f in SCHEMES.values()]
-    by_name = dict(zip(SCHEMES, results))
-    artifact(
-        "fig11_breakdown",
-        [
-            result_entry(
-                r,
-                key=name,
-                config=(
-                    {"threshold_bytes": 512 * 1024} if name == "Proposed" else None
-                ),
-                run=RUN_PARAMS,
-            )
-            for name, r in by_name.items()
-        ],
-    )
+def test_fig11_time_breakdown(benchmark, report, artifact, sweep_run):
+    run = sweep_run("fig11")
+    by_name = fig11_results(run.views)
+    results = list(by_name.values())
+    artifact(run)
     report(
         "fig11_breakdown",
         format_breakdown_table(
@@ -95,4 +64,10 @@ def test_fig11_time_breakdown(benchmark, report, artifact):
     # The proposed total is the lowest.
     assert by_name["Proposed"].mean_latency == min(r.mean_latency for r in results)
 
-    benchmark.pedantic(lambda: _run(SCHEMES["Proposed"]), rounds=1)
+    benchmark.pedantic(
+        lambda: ExperimentSpec(
+            experiment="pedantic", key="fig11", system="ABCI", workload="MILC",
+            dim=DIM, iterations=1,
+        ).run_result(),
+        rounds=1,
+    )

@@ -14,66 +14,18 @@ Expected shape (paper):
 * (d) NAS_MG: proposed wins 1.4–5.8× with the factor shrinking as the
   wire time starts to dominate at large faces.
 
-``Proposed-Tuned`` uses the per-workload best threshold from a small
-sweep (the paper's manually tuned variant).
+``Proposed-Tuned`` uses the per-workload best threshold from the
+figure's tuning phase (the paper's manually tuned variant) — the sweep
+engine runs those shards first and expands the main grid from their
+outcome.
 """
 
-import pytest
 
-from repro.bench import format_latency_table, run_bulk_exchange
-from repro.net import LASSEN
-from repro.schemes import SCHEME_REGISTRY
-from repro.workloads import WORKLOADS
+from repro.bench import format_latency_table
+from repro.bench.figures import FIG12_SWEEPS as SWEEPS
+from repro.bench.figures import fig12_tables
 
-from conftest import ITERATIONS, RUN_PARAMS, WARMUP, best_speedup, proposed_factory
-from repro.obs import entries_from_grid
-
-KiB = 1024
-SWEEPS = {
-    "specfem3D_oc": [500, 1000, 2000, 4000, 8000],
-    "specfem3D_cm": [250, 500, 1000, 2000, 4000],
-    "MILC": [2, 4, 8, 16, 32],
-    "NAS_MG": [32, 64, 128, 256],
-}
-TUNE_CANDIDATES = [128 * KiB, 256 * KiB, 512 * KiB]
-
-
-def _run(system, factory, workload, dim, nbuffers=16):
-    return run_bulk_exchange(
-        system, factory, WORKLOADS[workload](dim), nbuffers=nbuffers,
-        iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
-    )
-
-
-def tuned_threshold(system, workload, dim):
-    """Pick the best fusion threshold from a small sweep (tuning run)."""
-    best, best_lat = None, float("inf")
-    for threshold in TUNE_CANDIDATES:
-        lat = _run(system, proposed_factory(threshold), workload, dim).mean_latency
-        if lat < best_lat:
-            best, best_lat = threshold, lat
-    return best
-
-
-def run_figure(system):
-    """Shared by Fig. 12 (Lassen) and Fig. 13 (ABCI)."""
-    tables = {}
-    for workload, dims in SWEEPS.items():
-        mid = dims[len(dims) // 2]
-        tuned = tuned_threshold(system, workload, mid)
-        schemes = {
-            "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
-            "GPU-Async": SCHEME_REGISTRY["GPU-Async"],
-            "CPU-GPU-Hybrid": SCHEME_REGISTRY["CPU-GPU-Hybrid"],
-            "Proposed": proposed_factory(),
-            "Proposed-Tuned": proposed_factory(tuned, name="Proposed-Tuned"),
-        }
-        grid = {name: {} for name in schemes}
-        for dim in dims:
-            for name, factory in schemes.items():
-                grid[name][dim] = _run(system, factory, workload, dim)
-        tables[workload] = grid
-    return tables
+from conftest import best_speedup
 
 
 def check_figure_shape(tables, *, sparse_min_speedup):
@@ -139,23 +91,18 @@ def emit_tables(report, name, system_label, tables):
     report(name.lower().replace(". ", "").replace(" ", "_"), "\n\n".join(chunks))
 
 
-def figure_entries(tables):
-    """Artifact entries for a fig-12/13 per-workload table set."""
-    entries = []
-    for workload, grid in tables.items():
-        entries.extend(
-            entries_from_grid(
-                grid, column="dim", key_prefix=workload, run=RUN_PARAMS
-            )
-        )
-    return entries
-
-
-def test_fig12_lassen(benchmark, report, artifact):
-    tables = run_figure(LASSEN)
-    artifact("fig12", figure_entries(tables))
+def test_fig12_lassen(benchmark, report, artifact, sweep_run):
+    run = sweep_run("fig12")
+    tables = fig12_tables(run.views)
+    artifact(run)
     emit_tables(report, "Fig12", "Lassen", tables)
     check_figure_shape(tables, sparse_min_speedup=3.0)
+
+    from repro.bench import ExperimentSpec
+
     benchmark.pedantic(
-        lambda: _run(LASSEN, proposed_factory(), "specfem3D_cm", 1000), rounds=1
+        lambda: ExperimentSpec(
+            experiment="pedantic", key="fig12", dim=1000, iterations=1
+        ).run_result(),
+        rounds=1,
     )

@@ -14,40 +14,34 @@ Expected shape (paper):
 * GPU-Async recovers relative to GPU-Sync compared with Lassen: the
   slower effective interconnect widens the overlap window its
   pipelining can exploit (Fig. 13c/d).
+
+The cross-system claims use dedicated Lassen shards carried inside the
+Fig. 13 sweep (keys ``lassen/...`` / ``lassen_milc/...``), so the
+whole figure — ABCI grid plus comparison points — is one cacheable
+shard plane.
 """
 
-import pytest
 
-from repro.net import ABCI, LASSEN
-from repro.schemes import SCHEME_REGISTRY
-from repro.workloads import WORKLOADS
+from repro.bench import ExperimentSpec
+from repro.bench.figures import FIG12_SWEEPS as SWEEPS
+from repro.bench.figures import fig12_tables, fig13_lassen_views
 
-from conftest import ITERATIONS, WARMUP, best_speedup, proposed_factory
-from repro.bench import run_bulk_exchange
-from test_fig12_lassen import (
-    SWEEPS, check_figure_shape, emit_tables, figure_entries, run_figure, _run,
-)
+from conftest import best_speedup
+from test_fig12_lassen import check_figure_shape, emit_tables
 
 
-def test_fig13_abci(benchmark, report, artifact):
-    tables = run_figure(ABCI)
-    artifact("fig13", figure_entries(tables))
+def test_fig13_abci(benchmark, report, artifact, sweep_run):
+    run = sweep_run("fig13")
+    tables = fig12_tables(run.views)
+    artifact(run)
     emit_tables(report, "Fig13", "ABCI", tables)
     check_figure_shape(tables, sparse_min_speedup=3.5)
 
+    lassen_sparse, lassen_milc = fig13_lassen_views(run.views)
+
     # Cross-system claim: the win over GPU-Sync on sparse layouts is
     # larger on ABCI than on Lassen (paper: ~19x vs ~8.5x).
-    lassen_grid = {
-        name: {
-            dim: _run(LASSEN, factory, "specfem3D_cm", dim)
-            for dim in SWEEPS["specfem3D_cm"][:2]
-        }
-        for name, factory in {
-            "GPU-Sync": SCHEME_REGISTRY["GPU-Sync"],
-            "Proposed": proposed_factory(),
-        }.items()
-    }
-    lassen_gap = best_speedup(lassen_grid, "Proposed", "GPU-Sync")
+    lassen_gap = best_speedup(lassen_sparse, "Proposed", "GPU-Sync")
     abci_gap = best_speedup(
         {k: {d: tables["specfem3D_cm"][k][d] for d in SWEEPS["specfem3D_cm"][:2]}
          for k in ("Proposed", "GPU-Sync")},
@@ -64,10 +58,6 @@ def test_fig13_abci(benchmark, report, artifact):
             / tables_[wl]["GPU-Sync"][dim].mean_latency
         )
 
-    lassen_milc = {
-        name: {16: _run(LASSEN, SCHEME_REGISTRY[name], "MILC", 16)}
-        for name in ("GPU-Sync", "GPU-Async")
-    }
     lassen_ratio = (
         lassen_milc["GPU-Async"][16].mean_latency
         / lassen_milc["GPU-Sync"][16].mean_latency
@@ -75,5 +65,9 @@ def test_fig13_abci(benchmark, report, artifact):
     assert async_ratio(tables, "MILC", 16) < lassen_ratio * 1.05
 
     benchmark.pedantic(
-        lambda: _run(ABCI, proposed_factory(), "specfem3D_cm", 1000), rounds=1
+        lambda: ExperimentSpec(
+            experiment="pedantic", key="fig13", system="ABCI", dim=1000,
+            iterations=1,
+        ).run_result(),
+        rounds=1,
     )

@@ -12,62 +12,27 @@ Normalized to SpectrumMPI (higher is better), like the paper's bars:
   8.8× (sparse) / 4.3× (dense) over it in the paper.
 """
 
-import pytest
 
-from repro.bench import format_speedup_table, run_bulk_exchange, speedup_matrix
-from repro.net import LASSEN
-from repro.schemes import SCHEME_REGISTRY
-from repro.workloads import WORKLOADS
-
-from conftest import ITERATIONS, RUN_PARAMS, WARMUP, proposed_factory
-from repro.obs import entries_from_grid
-
-CASES = {
-    "specfem3D_cm": [250, 1000],  # sparse
-    "MILC": [16, 32],             # dense
-}
-SCHEMES = {
-    "SpectrumMPI": SCHEME_REGISTRY["SpectrumMPI"],
-    "OpenMPI": SCHEME_REGISTRY["OpenMPI"],
-    "MVAPICH2-GDR": SCHEME_REGISTRY["MVAPICH2-GDR"],
-    "Proposed": proposed_factory(),
-}
+from repro.bench import ExperimentSpec, format_speedup_table, speedup_matrix
+from repro.bench.figures import FIG14_CASES as CASES
+from repro.bench.figures import fig14_grids
 
 
-def _grid(workload, dims):
-    out = {name: {} for name in SCHEMES}
-    for dim in dims:
-        spec = WORKLOADS[workload](dim)
-        for name, factory in SCHEMES.items():
-            out[name][dim] = run_bulk_exchange(
-                LASSEN, factory, spec, nbuffers=16,
-                iterations=ITERATIONS, warmup=WARMUP, data_plane=False,
-            )
-    return out
-
-
-def test_fig14_production_libraries(benchmark, report, artifact):
-    chunks = []
-    grids = {}
-    entries = []
-    for workload, dims in CASES.items():
-        grids[workload] = _grid(workload, dims)
-        entries.extend(
-            entries_from_grid(
-                grids[workload], column="dim", key_prefix=workload, run=RUN_PARAMS
-            )
+def test_fig14_production_libraries(benchmark, report, artifact, sweep_run):
+    run = sweep_run("fig14")
+    grids = fig14_grids(run.views)
+    artifact(run)
+    chunks = [
+        format_speedup_table(
+            grids[workload],
+            "SpectrumMPI",
+            title=(
+                f"Fig. 14 — vs production libraries, {workload} on Lassen "
+                "(normalized to SpectrumMPI, higher is better)"
+            ),
         )
-        chunks.append(
-            format_speedup_table(
-                grids[workload],
-                "SpectrumMPI",
-                title=(
-                    f"Fig. 14 — vs production libraries, {workload} on Lassen "
-                    "(normalized to SpectrumMPI, higher is better)"
-                ),
-            )
-        )
-    artifact("fig14_production", entries)
+        for workload in CASES
+    ]
     report("fig14_production", "\n\n".join(chunks))
 
     sparse = speedup_matrix(grids["specfem3D_cm"], "SpectrumMPI")
@@ -97,9 +62,9 @@ def test_fig14_production_libraries(benchmark, report, artifact):
     assert sparse_factor > dense_factor
 
     benchmark.pedantic(
-        lambda: run_bulk_exchange(
-            LASSEN, SCHEMES["MVAPICH2-GDR"], WORKLOADS["MILC"](16),
-            nbuffers=16, iterations=1, warmup=1, data_plane=False,
-        ),
+        lambda: ExperimentSpec(
+            experiment="pedantic", key="fig14", scheme="MVAPICH2-GDR",
+            workload="MILC", dim=16, iterations=1,
+        ).run_result(),
         rounds=1,
     )

@@ -12,7 +12,6 @@ but per-operation overheads divide the effective number — fusion keeps
 the most; the hybrid CPU path tops out at GDRCopy's few GB/s.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import KernelFusionScheme

@@ -7,8 +7,6 @@ fusion advantage *persists* as the job grows — per-rank request lists
 and schedulers are independent, so nothing serializes globally.
 """
 
-import numpy as np
-import pytest
 
 from repro.mpi import Runtime
 from repro.net import Cluster, LASSEN

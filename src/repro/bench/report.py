@@ -8,7 +8,7 @@ normalized comparisons (Fig. 14) print as speedup factors.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..sim.trace import Category
 from .runner import ExperimentResult

@@ -44,7 +44,7 @@ from ..schemes.base import PackingScheme
 from ..sim.engine import Simulator
 from ..sim.faults import FaultPlan
 from ..sim.noise import NoiseModel
-from ..sim.trace import Category, Trace
+from ..sim.trace import Category
 from ..workloads.base import WorkloadSpec
 
 __all__ = ["ExperimentResult", "RecoveryReport", "run_bulk_exchange"]
@@ -277,7 +277,6 @@ def run_bulk_exchange(
 
     total_iters = warmup + iterations
     finish_times: Dict[int, float] = {}
-    iteration_sync = {"event": None}
 
     def rank_program(rank, peer: int):
         for it in range(total_iters):

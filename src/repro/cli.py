@@ -5,7 +5,10 @@ without writing a script:
 
 * ``compare``   — latency table of every scheme on one workload,
 * ``breakdown`` — the Fig. 11 five-bucket cost decomposition,
-* ``sweep``     — the Fig. 8 fusion-threshold sweep,
+* ``sweep``     — ``--figure figN``: run a full paper figure's grid
+  through the sharded parallel sweep engine (``--jobs``, content-
+  addressed ``--cache-dir``, artifact ``--out``); without ``--figure``,
+  the classic Fig. 8 fusion-threshold sweep,
 * ``autotune``  — empirical + model-based threshold recommendations,
 * ``faults``    — chaos sweep: re-run one scheme under the fault
   presets and report latency inflation + recovery actions,
@@ -178,6 +181,8 @@ def cmd_breakdown(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    if args.figure:
+        return _cmd_figure_sweep(args)
     print(
         f"Fusion-threshold sweep: {args.workload} dim={args.dim} on {args.system}\n"
     )
@@ -195,6 +200,60 @@ def cmd_sweep(args) -> int:
             f"{stats.launches:>9}{stats.mean_batch:>12.1f}"
         )
     return 0
+
+
+def _cmd_figure_sweep(args) -> int:
+    """``repro sweep --figure figN``: the sharded, cached figure sweep."""
+    import os
+    import pathlib
+
+    from .bench.figures import FIGURES, run_figure
+    from .bench.sweep import ResultCache, SweepError, code_salt
+    from .obs import artifact_path, write_bench_artifact
+
+    figures = sorted(FIGURES) if "all" in args.figure else list(args.figure)
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get(
+            "REPRO_SWEEP_CACHE", ".repro-cache/sweep"
+        )
+        cache = ResultCache(cache_dir)
+    registry = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    salt = args.salt if args.salt is not None else code_salt()
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    status = 0
+    for figure in figures:
+        try:
+            run = run_figure(
+                figure, jobs=args.jobs, cache=cache, salt=salt,
+                registry=registry,
+            )
+        except SweepError as exc:
+            print(f"{figure}: FAILED\n{exc}")
+            status = 1
+            continue
+        path = write_bench_artifact(
+            artifact_path(str(out_dir), run.experiment), run.artifact_doc()
+        )
+        s = run.stats
+        print(
+            f"{figure}: {s.shards} shards — {s.ran} run, {s.hits} cached, "
+            f"jobs={s.jobs}, {s.wall_seconds:.1f}s"
+        )
+        print(f"  -> {path} ({len(run.entries)} entries)")
+    if cache is not None:
+        print(f"cache: {cache.root} ({len(cache)} shards, salt {salt})")
+    if registry is not None:
+        with open(args.metrics, "w") as fh:
+            fh.write(registry.to_prometheus_text())
+        print(f"metrics written to {args.metrics}")
+    return status
 
 
 def cmd_autotune(args) -> int:
@@ -365,12 +424,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_breakdown)
 
-    p = sub.add_parser("sweep", help="Fig. 8-style threshold sweep")
+    p = sub.add_parser(
+        "sweep",
+        help="parallel figure sweep (--figure) or Fig. 8 threshold sweep",
+    )
     _add_common(p)
     p.add_argument(
         "--thresholds", type=int, nargs="+",
         default=[16, 64, 128, 256, 512, 1024, 2048, 4096],
-        help="thresholds in KB",
+        help="thresholds in KB (threshold-sweep mode)",
+    )
+    from .bench.figures import FIGURES as _FIGURES
+
+    p.add_argument(
+        "--figure", action="append", default=None, metavar="FIG",
+        choices=sorted(_FIGURES) + ["all"],
+        help="run a full paper figure's grid through the sharded sweep "
+        "engine (repeatable; 'all' runs every figure)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for --figure sweeps (default 1 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed shard cache (default $REPRO_SWEEP_CACHE "
+        "or .repro-cache/sweep)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the shard cache entirely (every shard re-runs)",
+    )
+    p.add_argument(
+        "--salt", default=None, metavar="TEXT",
+        help="cache-key salt override (default: hash of the repro source "
+        "tree, so code changes invalidate the cache)",
+    )
+    p.add_argument(
+        "--out", default="benchmarks/results", metavar="DIR",
+        help="artifact output directory for --figure sweeps",
+    )
+    p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="dump sweep cache/shard counters as Prometheus text",
     )
     p.set_defaults(fn=cmd_sweep)
 

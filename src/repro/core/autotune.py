@@ -22,7 +22,7 @@ work, realized.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..datatypes.layout import DataLayout
 from ..gpu.archs import GPUArchitecture

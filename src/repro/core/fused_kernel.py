@@ -18,7 +18,7 @@ overlap visible in Fig. 7.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from ..gpu.archs import GPUArchitecture
 from ..gpu.coop import FusionPlan, partition

@@ -109,4 +109,3 @@ class Datatype(ABC):
 
 
 # Imported late to avoid a cycle: cache stores layouts keyed by signatures.
-from .cache import LayoutCache  # noqa: E402  (intentional tail import)

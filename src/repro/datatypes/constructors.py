@@ -19,7 +19,7 @@ cache stores.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Sequence, Tuple
+from typing import Hashable, Sequence, Tuple
 
 import numpy as np
 

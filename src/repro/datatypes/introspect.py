@@ -141,7 +141,7 @@ def describe(datatype: Datatype, *, _depth: int = 0, _prefix: str = "") -> str:
         sub = describe(child, _depth=_depth + 1)
         sub_lines = sub.splitlines()
         lines.append(_prefix + branch + sub_lines[0])
-        lines.extend(_prefix + cont + l for l in sub_lines[1:])
+        lines.extend(_prefix + cont + line for line in sub_lines[1:])
 
     if _depth == 0:
         flat = datatype.flatten()

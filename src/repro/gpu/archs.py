@@ -28,7 +28,7 @@ All bandwidth figures are bytes/second; all times are **seconds** (use
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from ..sim.engine import us

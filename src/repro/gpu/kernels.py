@@ -38,7 +38,6 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-import numpy as np
 
 from ..datatypes.layout import DataLayout
 from ..datatypes.pack import pack_bytes, unpack_bytes

@@ -19,7 +19,7 @@ memory is always consistent with the clock.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from ..sim.engine import Event, Simulator
 from .kernels import KernelOp

@@ -24,7 +24,7 @@ high range so collectives never collide with application traffic.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Generator, List, Sequence
 
 from ..datatypes.layout import DataLayout
 from ..gpu.memory import GPUBuffer

@@ -17,9 +17,8 @@ surfaces that via the ``expected`` flag on the match result.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

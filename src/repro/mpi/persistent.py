@@ -26,7 +26,6 @@ from __future__ import annotations
 import enum
 from typing import Generator, Iterable, List, Optional
 
-from ..datatypes.layout import DataLayout
 from ..gpu.memory import GPUBuffer
 from ..sim.engine import Event
 from .communicator import Rank, TypeArg

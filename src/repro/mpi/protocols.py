@@ -40,7 +40,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
-import numpy as np
 
 from ..net.transfer import rdma_read, rdma_write
 from ..sim.engine import Event, Process

@@ -30,7 +30,7 @@ from typing import Dict, Generator, List, Optional
 
 from ..datatypes.layout import DataLayout
 from ..gpu.memory import GPUBuffer
-from ..net.transfer import rdma_read, rdma_write
+from ..net.transfer import rdma_write
 from ..sim.engine import Event
 from .collectives import barrier
 from .communicator import Rank, Runtime, TypeArg

@@ -26,7 +26,7 @@ failure; they only see time pass.  Retransmissions are counted in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator
 
 from ..sim.engine import Event, Simulator
 from ..sim.faults import FaultError

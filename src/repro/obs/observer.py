@@ -18,7 +18,7 @@ series and ``docs/observability.md`` has one authoritative source.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -87,6 +87,18 @@ METRIC_CATALOG: Dict[str, Tuple[str, str, Tuple[str, ...], Optional[Tuple[float,
     "scheme_launch_retries_total": (
         "counter", "Per-operation launches retried after injected failures",
         ("scheme",), None),
+    # -- sweep engine (host-side, repro.bench.sweep) -----------------------
+    "sweep_shards_total": (
+        "counter",
+        "Sweep shards by outcome (hit=served from cache, run=executed)",
+        ("outcome",), None),
+    "sweep_failures_total": (
+        "counter", "Sweep shards that raised inside a worker", (), None),
+    "sweep_jobs": (
+        "gauge", "Worker processes used by the most recent sweep", (), None),
+    "sweep_wall_seconds_total": (
+        "counter", "Host wall-clock seconds spent executing sweep shards",
+        (), None),
 }
 
 

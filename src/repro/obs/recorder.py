@@ -26,8 +26,8 @@ calendar, so the simulated timeline is bit-identical.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
 
 __all__ = ["ObsEvent", "Recorder", "NullRecorder"]
 

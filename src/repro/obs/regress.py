@@ -22,7 +22,7 @@ root — ``repro.obs``'s core stays importable before the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from .artifact import experiment_artifact, result_entry
 
@@ -187,58 +187,21 @@ def _metric_value(entry: Mapping[str, Any], metric: str) -> Optional[float]:
 def rerun_entry(entry: Mapping[str, Any], obs=None):
     """Re-run one artifact entry; returns a fresh ``ExperimentResult``.
 
-    Reconstructs the experiment from the entry's stored configuration:
-    registry schemes by name, fusion-threshold variants through
-    ``config.threshold_bytes`` / ``config.capacity``.
+    Reconstructs the experiment through the sweep engine's picklable
+    :class:`~repro.bench.sweep.ExperimentSpec` — registry schemes by
+    name, fusion variants through ``config.threshold_bytes`` /
+    ``config.capacity`` / ``config.name`` — so the gate and the
+    parallel sweep plane rebuild measurements identically.
     """
-    from ..bench.runner import run_bulk_exchange
-    from ..net.systems import SYSTEMS
-    from ..workloads import WORKLOADS
+    from ..bench.sweep import ExperimentSpec
 
-    run = dict(entry.get("run", {}))
-    return run_bulk_exchange(
-        SYSTEMS[entry["system"]],
-        _scheme_factory(entry),
-        WORKLOADS[entry["workload"]](entry["dim"]),
-        nbuffers=entry["nbuffers"],
-        iterations=int(run.get("iterations", 2)),
-        warmup=int(run.get("warmup", 1)),
-        data_plane=bool(run.get("data_plane", False)),
-        rendezvous_protocol=run.get("rendezvous_protocol", "rput"),
-        seed=int(run.get("seed", 42)),
-        obs=obs,
-    )
-
-
-def _scheme_factory(entry: Mapping[str, Any]):
-    from ..core import KernelFusionScheme
-    from ..core.fusion_policy import FusionPolicy
-    from ..schemes import SCHEME_REGISTRY
-
-    config = dict(entry.get("config", {}))
-    if "threshold_bytes" in config or "capacity" in config:
-        policy_kwargs = {
-            k: config[k]
-            for k in ("threshold_bytes", "max_batch_requests", "min_batch_requests")
-            if k in config
-        }
-
-        def factory(site, trace):
-            return KernelFusionScheme(
-                site,
-                trace,
-                policy=FusionPolicy(**policy_kwargs),
-                capacity=config.get("capacity", 256),
-            )
-
-        return factory
-    scheme = entry["scheme"]
-    if scheme not in SCHEME_REGISTRY:
+    try:
+        spec = ExperimentSpec.from_entry("rerun", entry)
+        return spec.run_result(obs=obs)
+    except KeyError as exc:
         raise KeyError(
-            f"entry {entry['key']!r}: scheme {scheme!r} is not in the registry "
-            "and carries no config — cannot re-run"
-        )
-    return SCHEME_REGISTRY[scheme]
+            f"entry {entry.get('key')!r}: cannot re-run ({exc})"
+        ) from exc
 
 
 def rerun_artifact(

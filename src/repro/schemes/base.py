@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, List, Optional, Sequence
 
 from ..gpu.kernels import KernelOp, OpKind

@@ -20,7 +20,7 @@ from __future__ import annotations
 from ..gpu.kernels import KernelOp
 from ..net.topology import RankSite
 from ..sim.trace import Category, Trace
-from .base import OpHandle, PackingScheme, SchemeCapabilities, SchemeGen
+from .base import PackingScheme, SchemeCapabilities, SchemeGen
 
 __all__ = ["GPUSyncScheme"]
 

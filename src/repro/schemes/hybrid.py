@@ -24,7 +24,7 @@ from ..gpu.kernels import KernelOp
 from ..net.topology import RankSite
 from ..sim.engine import Event, us
 from ..sim.trace import Category, Trace
-from .base import OpHandle, PackingScheme, SchemeCapabilities, SchemeGen
+from .base import PackingScheme, SchemeCapabilities, SchemeGen
 from .gpu_sync import GPUSyncScheme
 
 __all__ = ["CPUGPUHybridScheme"]

@@ -15,7 +15,7 @@ Example::
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Union
+from typing import List, Mapping, Union
 
 from .trace import Category, Trace
 

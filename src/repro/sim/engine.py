@@ -357,6 +357,16 @@ class Simulator:
         #: event calendar, so disabled telemetry cannot perturb timing
         self.obs = NULL_OBSERVER
 
+    def __reduce__(self):
+        # Live simulations hold generator-based processes, which cannot
+        # cross a process boundary; without this guard pickle fails
+        # deep inside the event heap with an opaque error.
+        raise TypeError(
+            "Simulator is not picklable: ship a picklable "
+            "repro.bench.sweep.ExperimentSpec to the worker and rebuild "
+            "the simulation there instead"
+        )
+
     # -- clock -------------------------------------------------------------
     @property
     def now(self) -> float:

@@ -35,7 +35,7 @@ diagnostic backstop, unreachable for valid specs).
 from __future__ import annotations
 
 import zlib
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, fields
 from typing import Dict
 
 import numpy as np

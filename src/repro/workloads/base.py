@@ -21,10 +21,9 @@ the committed datatype plus the buffer geometry a benchmark needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict
 
-import numpy as np
 
 from ..datatypes.base import Datatype
 

@@ -119,3 +119,40 @@ def test_describe_command(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "hvector" in out and "flattened:" in out
+
+
+def test_figure_sweep_command(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    out = tmp_path / "results"
+    metrics = tmp_path / "sweep.prom"
+    argv = [
+        "sweep", "--figure", "fig11", "--jobs", "1",
+        "--cache-dir", str(cache), "--out", str(out),
+        "--metrics", str(metrics), "--salt", "test",
+    ]
+    rc = main(argv)
+    assert rc == 0
+    cold = capsys.readouterr().out
+    assert "fig11: 3 shards — 3 run, 0 cached" in cold
+    artifact = out / "BENCH_fig11_breakdown.json"
+    assert artifact.exists()
+    assert "sweep_shards_total" in metrics.read_text()
+
+    # Warm cache: identical artifact, zero shards re-run.
+    before = artifact.read_bytes()
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "fig11: 3 shards — 0 run, 3 cached" in warm
+    assert artifact.read_bytes() == before
+
+
+def test_figure_sweep_no_cache(capsys, tmp_path):
+    rc = main([
+        "sweep", "--figure", "fig01", "--no-cache",
+        "--out", str(tmp_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fig01: 1 shards — 1 run, 0 cached" in out
+    assert "cache:" not in out
+    assert (tmp_path / "BENCH_fig01_launch_overhead.json").exists()

@@ -6,7 +6,6 @@ flushes, and fallbacks, every submitted operation's bytes land exactly
 once and every handle completes.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,7 @@ from repro.core.request_list import CircularRequestList
 from repro.datatypes import DataLayout
 from repro.gpu import TESLA_V100
 from repro.net import Cluster, LASSEN
-from repro.sim import Category, Simulator, Trace, us
+from repro.sim import Category, Simulator, Trace
 
 
 @pytest.fixture()

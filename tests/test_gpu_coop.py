@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datatypes import DOUBLE, DataLayout, Indexed
+from repro.datatypes import DataLayout
 from repro.gpu import GPUDevice, TESLA_V100, kernel_compute_time, partition
 from repro.sim import Simulator
 

@@ -13,7 +13,7 @@ from repro.gpu import (
     TESLA_V100,
     TESLA_V100_PCIE,
 )
-from repro.sim import AllOf, AnyOf, Category, Simulator, us
+from repro.sim import AllOf, AnyOf, Category, Simulator
 from repro.datatypes import DataLayout
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datatypes import DOUBLE, Contiguous, DataLayout, Vector
+from repro.datatypes import DOUBLE, Contiguous, Vector
 from repro.mpi import Runtime, allgather, alltoall, barrier, neighbor_alltoall
 from repro.net import Cluster, LASSEN
 from repro.schemes import SCHEME_REGISTRY

@@ -1,6 +1,5 @@
 """Tests for MPI_Test / Testall / Waitany / Waitsome semantics."""
 
-import numpy as np
 import pytest
 
 from repro.datatypes import DOUBLE, Vector

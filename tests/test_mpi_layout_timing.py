@@ -1,6 +1,5 @@
 """Tests for timed datatype handling and the layout cache's effect."""
 
-import numpy as np
 import pytest
 
 from repro.datatypes import DOUBLE, Vector

@@ -1,10 +1,9 @@
 """Tests for persistent requests (MPI_Send_init / Start / Startall)."""
 
-import numpy as np
 import pytest
 
 from repro.datatypes import DOUBLE, Vector
-from repro.mpi import PersistentKind, PersistentRequest, Runtime
+from repro.mpi import PersistentKind, Runtime
 from repro.net import Cluster, LASSEN
 from repro.schemes import SCHEME_REGISTRY
 from repro.sim import Simulator

@@ -5,7 +5,7 @@ import pytest
 
 from repro.datatypes import DOUBLE, Vector
 from repro.mpi import PIPELINE, RPUT, Runtime
-from repro.net import ABCI, Cluster, LASSEN
+from repro.net import Cluster, LASSEN
 from repro.schemes import SCHEME_REGISTRY
 from repro.sim import Simulator
 

@@ -1,7 +1,5 @@
 """Protocol-level unit tests: eager / RPUT / RGET timing semantics."""
 
-import numpy as np
-import pytest
 
 from repro.datatypes import DOUBLE, Vector
 from repro.mpi import Runtime

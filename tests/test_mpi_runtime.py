@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core import KernelFusionScheme
 from repro.datatypes import DOUBLE, DataLayout, Vector
 from repro.mpi import DIRECT, EAGER, RGET, RPUT, Runtime
 from repro.net import Cluster, LASSEN
-from repro.schemes import GPUSyncScheme, SCHEME_REGISTRY
+from repro.schemes import SCHEME_REGISTRY
 from repro.sim import Simulator
 
 

@@ -57,7 +57,8 @@ def test_enabling_telemetry_does_not_change_simulated_time(scheme):
 
 
 def test_telemetry_is_timing_neutral_under_faults():
-    plan = lambda: FaultPlan(seed=7, spec=FAULT_PRESETS["moderate"])
+    def plan():
+        return FaultPlan(seed=7, spec=FAULT_PRESETS["moderate"])
     default = _run(faults=plan(), data_plane=True)   # internal observer
     recorded = _run(faults=plan(), data_plane=True, obs=Observer())
     assert recorded.latencies == default.latencies

@@ -1,7 +1,6 @@
 """repro.obs.regress — the perf-regression gate, pass/fail pair + CLI."""
 
 import copy
-import json
 
 import pytest
 

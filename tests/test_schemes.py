@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import FusionPolicy, KernelFusionScheme
 from repro.datatypes import DataLayout
-from repro.gpu import OpKind
 from repro.net import Cluster, LASSEN
 from repro.schemes import (
     CPUGPUHybridScheme,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bench import run_bulk_exchange
-from repro.net import Cluster, LASSEN
+from repro.net import LASSEN
 from repro.schemes import SCHEME_REGISTRY
 from repro.sim import NoiseModel, Simulator, us
 from repro.gpu import GPUDevice, TESLA_V100

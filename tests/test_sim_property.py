@@ -34,7 +34,7 @@ def test_same_time_fifo_by_creation_order(count_groups):
         for i in range(n):
             label = (group, i)
             expected.append(label)
-            sim.timeout(1.0).callbacks.append(lambda _ev, l=label: order.append(l))
+            sim.timeout(1.0).callbacks.append(lambda _ev, lab=label: order.append(lab))
     sim.run()
     assert order == expected
 

@@ -28,7 +28,7 @@ def test_rows_per_present_category():
 
 def test_glyph_placement_proportional():
     text = render_timeline(_trace(), width=100)
-    comm_row = next(l for l in text.splitlines() if l.startswith("comm"))
+    comm_row = next(ln for ln in text.splitlines() if ln.startswith("comm"))
     body = comm_row.split("|")[1]
     # COMM covers [30us, 100us] of a 100us window: ~70% of the width,
     # starting around cell 30.
@@ -41,7 +41,7 @@ def test_tiny_span_still_visible():
     t.charge(Category.SYNC, 0.0, 1e-9)
     t.charge(Category.COMM, 0.0, 1e-3)
     text = render_timeline(t, width=40)
-    sync_row = next(l for l in text.splitlines() if l.startswith("sync"))
+    sync_row = next(ln for ln in text.splitlines() if ln.startswith("sync"))
     assert "y" in sync_row
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datatypes import as_byte_view, pack_bytes, unpack_bytes
+from repro.datatypes import pack_bytes, unpack_bytes
 from repro.workloads import (
     WORKLOADS,
     fft2d_transpose,
