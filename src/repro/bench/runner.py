@@ -29,6 +29,7 @@ time, never correctness.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -320,7 +321,18 @@ def run_bulk_exchange(
         sim.process(rank_program(ranks[0], 1), name="rank0"),
         sim.process(rank_program(ranks[1], 0), name="rank1"),
     ]
+    run_started = time.perf_counter()
     sim.run(sim.all_of(procs))
+    if obs is not None and obs.enabled:
+        # Host-side engine telemetry (wall clock, not simulated time —
+        # the virtual timeline is untouched by observation, DESIGN §6).
+        run_wall = time.perf_counter() - run_started
+        obs.count("engine_events_total", sim.events_processed)
+        obs.count("engine_wall_seconds_total", run_wall)
+        obs.gauge_set(
+            "engine_events_per_second",
+            sim.events_processed / run_wall if run_wall > 0 else 0.0,
+        )
 
     if verify:
         idx = layout.gather_index()

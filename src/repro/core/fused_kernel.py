@@ -75,5 +75,5 @@ def launch_fused_kernel(
             req.op.apply()
             req.gpu_signal_complete()
 
-        trigger.callbacks.append(_complete)
+        trigger.add_callback(_complete)
     return plan

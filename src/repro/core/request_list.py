@@ -45,7 +45,7 @@ class RequestStatus(str, enum.Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class FusionRequest:
     """One occupied slot of the circular request list."""
 
@@ -61,7 +61,7 @@ class FusionRequest:
 
     def __post_init__(self) -> None:
         if self.done_event is None:
-            self.done_event = Event(self.sim, name=f"fusion:uid{self.uid}")
+            self.done_event = Event(self.sim, name="fusion")
 
     @property
     def complete(self) -> bool:
@@ -90,6 +90,11 @@ class FusionRequest:
 class CircularRequestList:
     """Fixed-capacity ring of :class:`FusionRequest` slots."""
 
+    __slots__ = (
+        "sim", "capacity", "_slots", "_head", "_tail", "_count",
+        "_uids", "peak_occupancy", "rejections",
+    )
+
     def __init__(self, sim: Simulator, capacity: int = 256):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -98,6 +103,7 @@ class CircularRequestList:
         self._slots: List[Optional[FusionRequest]] = [None] * capacity
         self._head = 0
         self._tail = 0
+        self._count = 0
         self._uids = itertools.count()
         #: occupancy high-water mark (diagnostics)
         self.peak_occupancy = 0
@@ -118,7 +124,7 @@ class CircularRequestList:
     @property
     def occupancy(self) -> int:
         """Number of occupied (non-IDLE) slots."""
-        return sum(1 for s in self._slots if s is not None)
+        return self._count
 
     @property
     def is_full(self) -> bool:
@@ -126,12 +132,24 @@ class CircularRequestList:
         return self._slots[self._tail] is not None
 
     def pending(self) -> List[FusionRequest]:
-        """Occupied PENDING entries in FIFO (head→tail) order."""
+        """Occupied PENDING entries in FIFO (head→tail) order.
+
+        Occupied slots are contiguous from Head (``reap`` only frees
+        from the head), so the scan visits exactly ``occupancy`` slots —
+        the scheduler calls this on every flush decision, and scanning
+        the full 256-slot ring dominated its profile.
+        """
         out: List[FusionRequest] = []
-        for i in range(self.capacity):
-            slot = self._slots[(self._head + i) % self.capacity]
+        slots = self._slots
+        capacity = self.capacity
+        i = self._head
+        for _ in range(self._count):
+            slot = slots[i]
             if slot is not None and slot.request_status is RequestStatus.PENDING:
                 out.append(slot)
+            i += 1
+            if i == capacity:
+                i = 0
         return out
 
     def pending_bytes(self) -> int:
@@ -154,9 +172,11 @@ class CircularRequestList:
         )
         self._slots[self._tail] = request
         self._tail = (self._tail + 1) % self.capacity
-        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        self._count += 1
+        if self._count > self.peak_occupancy:
+            self.peak_occupancy = self._count
         if self.sim.obs.enabled:
-            self.sim.obs.gauge_set("fusion_ring_occupancy", self.occupancy)
+            self.sim.obs.gauge_set("fusion_ring_occupancy", self._count)
         return request
 
     def mark_busy(self, requests: List[FusionRequest]) -> None:
@@ -181,11 +201,12 @@ class CircularRequestList:
             slot.request_status = RequestStatus.IDLE
             self._slots[self._head] = None
             self._head = (self._head + 1) % self.capacity
+            self._count -= 1
             reaped += 1
             if self._head == self._tail and self._slots[self._head] is None:
                 break
         if reaped and self.sim.obs.enabled:
-            self.sim.obs.gauge_set("fusion_ring_occupancy", self.occupancy)
+            self.sim.obs.gauge_set("fusion_ring_occupancy", self._count)
         return reaped
 
     def lookup(self, uid: int) -> Optional[FusionRequest]:

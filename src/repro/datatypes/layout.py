@@ -84,7 +84,17 @@ class DataLayout:
         "lengths",
         "extent",
         "_gather_index",
+        "_shifted_index",
+        "_size",
+        "_min_block",
+        "_max_block",
+        "_mean_block",
     )
+
+    #: cap on cached base-offset-shifted gather indexes per layout; a
+    #: layout is reused with a handful of offsets (per-rank windows), so
+    #: a tiny cache captures them all without unbounded growth
+    _SHIFT_CACHE_LIMIT = 16
 
     def __init__(
         self,
@@ -117,6 +127,11 @@ class DataLayout:
             extent = int(off[-1] + lng[-1] - min(0, int(off[0]))) if len(off) else 0
         self.extent = int(extent)
         self._gather_index: Optional[np.ndarray] = None
+        self._shifted_index: Optional[dict] = None
+        self._size: Optional[int] = None
+        self._min_block: Optional[int] = None
+        self._max_block: Optional[int] = None
+        self._mean_block: Optional[float] = None
 
     # -- shape statistics ---------------------------------------------------
     @property
@@ -126,8 +141,16 @@ class DataLayout:
 
     @property
     def size(self) -> int:
-        """Total payload bytes (sum of block lengths)."""
-        return int(self.lengths.sum()) if len(self.lengths) else 0
+        """Total payload bytes (sum of block lengths).
+
+        Cached: the GPU cost model reads the shape statistics on every
+        priced operation, and layouts are immutable, so each NumPy
+        reduction is paid once per layout rather than once per message.
+        """
+        value = self._size
+        if value is None:
+            value = self._size = int(self.lengths.sum()) if len(self.lengths) else 0
+        return value
 
     @property
     def span(self) -> int:
@@ -139,17 +162,28 @@ class DataLayout:
     @property
     def min_block(self) -> int:
         """Smallest block length in bytes (0 for an empty layout)."""
-        return int(self.lengths.min()) if len(self.lengths) else 0
+        value = self._min_block
+        if value is None:
+            value = self._min_block = int(self.lengths.min()) if len(self.lengths) else 0
+        return value
 
     @property
     def max_block(self) -> int:
         """Largest block length in bytes (0 for an empty layout)."""
-        return int(self.lengths.max()) if len(self.lengths) else 0
+        value = self._max_block
+        if value is None:
+            value = self._max_block = int(self.lengths.max()) if len(self.lengths) else 0
+        return value
 
     @property
     def mean_block(self) -> float:
         """Mean block length in bytes (0.0 for an empty layout)."""
-        return float(self.lengths.mean()) if len(self.lengths) else 0.0
+        value = self._mean_block
+        if value is None:
+            value = self._mean_block = (
+                float(self.lengths.mean()) if len(self.lengths) else 0.0
+            )
+        return value
 
     @property
     def is_contiguous(self) -> bool:
@@ -206,17 +240,26 @@ class DataLayout:
         )
 
     # -- the data plane -------------------------------------------------------
-    def gather_index(self) -> np.ndarray:
+    def gather_index(self, base_offset: int = 0) -> np.ndarray:
         """Flat ``int64`` byte-index array selecting every payload byte.
 
         ``source[layout.gather_index()]`` *is* the pack operation and
         ``dest[layout.gather_index()] = packed`` the unpack operation.
         Built once and cached (the layout-cache economics of [24]).
+
+        A nonzero ``base_offset`` shifts every index (``MPI_Pack``'s
+        buffer argument); shifted copies are cached per offset (up to
+        ``_SHIFT_CACHE_LIMIT`` distinct offsets) so repeated windowed
+        packs stop allocating a fresh index array per message.
+
+        The returned array is shared cache state — callers must treat
+        it as read-only.
         """
-        if self._gather_index is None:
+        index = self._gather_index
+        if index is None:
             total = self.size
             if total == 0:
-                self._gather_index = np.empty(0, dtype=np.int64)
+                index = np.empty(0, dtype=np.int64)
             else:
                 # Vectorized expansion of blocks into per-byte indices:
                 # for block b: offsets[b] + (0 .. lengths[b]-1).
@@ -225,8 +268,19 @@ class DataLayout:
                 block_base = np.repeat(
                     np.concatenate(([0], np.cumsum(self.lengths)[:-1])), self.lengths
                 )
-                self._gather_index = starts + (within - block_base)
-        return self._gather_index
+                index = starts + (within - block_base)
+            self._gather_index = index
+        if base_offset == 0:
+            return index
+        cache = self._shifted_index
+        if cache is None:
+            cache = self._shifted_index = {}
+        shifted = cache.get(base_offset)
+        if shifted is None:
+            shifted = index + base_offset
+            if len(cache) < self._SHIFT_CACHE_LIMIT:
+                cache[base_offset] = shifted
+        return shifted
 
     # -- identity ---------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -56,9 +56,7 @@ def pack_bytes(
     argument of ``MPI_Pack``).
     """
     _check(source, layout, base_offset, "source")
-    index = layout.gather_index()
-    if base_offset:
-        index = index + base_offset
+    index = layout.gather_index(base_offset)
     if packed is None:
         return source[index]
     if packed.dtype != np.uint8 or packed.ndim != 1:
@@ -88,9 +86,7 @@ def unpack_bytes(
         raise IndexError(
             f"packed buffer of {len(packed)} bytes is shorter than {layout.size}"
         )
-    index = layout.gather_index()
-    if base_offset:
-        index = index + base_offset
+    index = layout.gather_index(base_offset)
     dest[index] = packed[: layout.size]
     return dest
 

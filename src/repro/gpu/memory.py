@@ -28,9 +28,17 @@ class OutOfMemoryError(MemoryError):
 
 
 class GPUBuffer:
-    """A contiguous region of (simulated) device or host memory."""
+    """A contiguous region of (simulated) device or host memory.
 
-    __slots__ = ("data", "space", "owner", "buffer_id", "name", "functional")
+    The NumPy backing store is materialized lazily on the first ``data``
+    access: dry (non-functional) runs price every operation without ever
+    touching buffer contents, and for the large-message figure sweeps
+    the eager ``np.zeros`` per allocation dominated wall time.  Contents
+    are unchanged — the first touch sees exactly the zeros (or ``fill``)
+    the eager allocation produced.
+    """
+
+    __slots__ = ("_data", "_nbytes", "_fill", "space", "owner", "buffer_id", "name", "functional")
 
     _ids = itertools.count()
 
@@ -44,11 +52,9 @@ class GPUBuffer:
     ):
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
-        self.data = (
-            np.zeros(nbytes, dtype=np.uint8)
-            if fill is None
-            else np.full(nbytes, fill, dtype=np.uint8)
-        )
+        self._data: Optional[np.ndarray] = None
+        self._nbytes = nbytes
+        self._fill = fill
         self.space: Space = space
         self.owner = owner
         self.buffer_id = next(GPUBuffer._ids)
@@ -57,9 +63,21 @@ class GPUBuffer:
         self.functional = True
 
     @property
+    def data(self) -> np.ndarray:
+        """The buffer's bytes (materialized on first access)."""
+        data = self._data
+        if data is None:
+            data = self._data = (
+                np.zeros(self._nbytes, dtype=np.uint8)
+                if self._fill is None
+                else np.full(self._nbytes, self._fill, dtype=np.uint8)
+            )
+        return data
+
+    @property
     def nbytes(self) -> int:
         """Capacity of the buffer in bytes."""
-        return len(self.data)
+        return self._nbytes
 
     @property
     def on_device(self) -> bool:

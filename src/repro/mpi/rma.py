@@ -163,7 +163,7 @@ class Window:
                 handle = yield from rank.scheme.submit(op, label=op.label)
             finally:
                 rank.cpu.release()
-            handle.done_event.callbacks.append(lambda _ev: done.succeed())
+            handle.done_event.add_callback(lambda _ev: done.succeed())
             return
 
         # Packed path: origin pack -> wire -> target-side unpack (put),

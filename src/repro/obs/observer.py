@@ -99,6 +99,13 @@ METRIC_CATALOG: Dict[str, Tuple[str, str, Tuple[str, ...], Optional[Tuple[float,
     "sweep_wall_seconds_total": (
         "counter", "Host wall-clock seconds spent executing sweep shards",
         (), None),
+    # -- simulation engine (host-side, repro.sim.engine) -------------------
+    "engine_events_total": (
+        "counter", "Calendar events fired by the simulation engine", (), None),
+    "engine_wall_seconds_total": (
+        "counter", "Host wall-clock seconds spent inside Simulator.run", (), None),
+    "engine_events_per_second": (
+        "gauge", "Events/sec of the most recent Simulator.run drain", (), None),
 }
 
 

@@ -230,7 +230,7 @@ class PackingScheme(ABC):
         )
         if not done.processed:
             self.outstanding.append(handle)
-            done.callbacks.append(lambda _ev: self._retire(handle))
+            done.add_callback(lambda _ev: self._retire(handle))
         return handle
 
     def _retire(self, handle: OpHandle) -> None:

@@ -14,8 +14,10 @@ from .engine import (
     SimulationError,
     Simulator,
     Timeout,
+    fastpath_enabled,
     ms,
     ns,
+    set_fastpath,
     us,
 )
 from .resources import Channel, Resource, Store
@@ -34,6 +36,8 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "fastpath_enabled",
+    "set_fastpath",
     "Resource",
     "Store",
     "Channel",

@@ -21,6 +21,29 @@ a simulation is fully deterministic given deterministic process code.
 This property is relied on by the regression tests and by the benchmark
 harness, which compares scheme timings without noise.
 
+Hot path
+--------
+The per-event cost of this kernel *is* the wall-clock cost of every
+sweep (exactly the per-request overhead disease the paper diagnoses one
+level down, in kernel launches), so the dominant patterns are kept
+allocation-lean:
+
+* every calendar object is ``__slots__``-only;
+* callback storage is lazy — ``None`` until the first subscriber, a
+  bare callable for the overwhelmingly common single-waiter case, and a
+  list only beyond that (:meth:`Event.add_callback`);
+* the ``yield sim.timeout(dt)`` resume path allocates one
+  :class:`Timeout` and one heap entry, nothing else: the process's
+  resume callback is a cached bound method, event names are built
+  lazily by ``__repr__``, and :meth:`Simulator.run` drains the calendar
+  with the step body inlined.
+
+The *semantics* are identical on every path; clients additionally guard
+closed-form shortcuts (e.g. :meth:`repro.net.link.Link.transmit`)
+behind :func:`fastpath_enabled`, which the ``REPRO_SIM_FASTPATH``
+environment variable (default on) controls so CI can prove virtual-time
+equivalence of fast and generic paths.
+
 Units
 -----
 The clock is a float in seconds.  Helpers :func:`us` and :func:`ns`
@@ -30,9 +53,10 @@ and network cost models.
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+import os
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
 from ..obs.observer import NULL_OBSERVER
 
@@ -45,6 +69,8 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "fastpath_enabled",
+    "set_fastpath",
     "us",
     "ns",
     "ms",
@@ -66,6 +92,33 @@ def ms(value: float) -> float:
     return value * 1e-3
 
 
+#: closed-form client fast paths on/off (the engine's own lean paths are
+#: unconditional — they are exactly equivalent by construction)
+_FASTPATH: bool = os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+
+
+def fastpath_enabled() -> bool:
+    """Whether clients may take their closed-form no-fault fast paths.
+
+    Controlled by ``REPRO_SIM_FASTPATH`` (default on; set to ``0`` to
+    force every component down its generic path).  The CI equivalence
+    job runs the full figure plane both ways and byte-compares the
+    artifacts — fast paths must never change virtual time.
+    """
+    return _FASTPATH
+
+
+def set_fastpath(enabled: bool) -> bool:
+    """Toggle client fast paths at runtime; returns the previous value.
+
+    Intended for tests that prove fast/generic equivalence in-process.
+    """
+    global _FASTPATH
+    previous = _FASTPATH
+    _FASTPATH = bool(enabled)
+    return previous
+
+
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
 
@@ -81,6 +134,14 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+#: sentinel distinguishing "no value yet" from a ``None`` value
+_PENDING = object()
+
+Callback = Callable[["Event"], None]
+#: lazy callback storage: nothing / one subscriber / many subscribers
+_Callbacks = Union[None, Callback, List[Callback]]
+
+
 class Event:
     """A one-shot occurrence on the simulation calendar.
 
@@ -90,19 +151,65 @@ class Event:
     sole argument.  Processes yield events to suspend until they fire.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_triggered", "_processed", "name")
 
-    #: sentinel distinguishing "no value yet" from a ``None`` value
-    _PENDING = object()
+    #: kept as a class attribute for backwards compatibility
+    _PENDING = _PENDING
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        self.callbacks: list[Callable[["Event"], None]] = []
-        self._value: Any = Event._PENDING
+        self._callbacks: _Callbacks = None
+        self._value: Any = _PENDING
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+
+    # -- callback storage --------------------------------------------------
+    def add_callback(self, callback: Callback) -> None:
+        """Subscribe ``callback`` to run (with this event) when it fires.
+
+        The storage is lazy: no container is allocated for the first
+        subscriber.  This is the hot-path API; the :attr:`callbacks`
+        list view exists for introspection and external composition.
+        """
+        cbs = self._callbacks
+        if cbs is None:
+            self._callbacks = callback
+        elif type(cbs) is list:
+            cbs.append(callback)
+        else:
+            self._callbacks = [cbs, callback]
+
+    def discard_callback(self, callback: Callback) -> None:
+        """Unsubscribe ``callback`` if present (no-op otherwise)."""
+        cbs = self._callbacks
+        if cbs is None:
+            return
+        if type(cbs) is list:
+            if callback in cbs:
+                cbs.remove(callback)
+        elif cbs == callback:
+            self._callbacks = None
+
+    @property
+    def callbacks(self) -> List[Callback]:
+        """Mutable list of subscribed callbacks.
+
+        Accessing it materializes the lazy storage into a real list
+        that *is* the storage from then on, so ``ev.callbacks.append``
+        keeps working exactly as before the lazy representation.
+        """
+        cbs = self._callbacks
+        if type(cbs) is list:
+            return cbs
+        cbs = [] if cbs is None else [cbs]
+        self._callbacks = cbs
+        return cbs
+
+    @callbacks.setter
+    def callbacks(self, value: List[Callback]) -> None:
+        self._callbacks = value
 
     # -- state inspection -------------------------------------------------
     @property
@@ -123,7 +230,7 @@ class Event:
     @property
     def value(self) -> Any:
         """The value passed to :meth:`succeed` (or the failure exception)."""
-        if self._value is Event._PENDING:
+        if self._value is _PENDING:
             raise SimulationError(f"value of {self!r} is not yet available")
         return self._value
 
@@ -133,9 +240,11 @@ class Event:
         if self._triggered:
             raise SimulationError(f"{self!r} has already been triggered")
         self._triggered = True
-        self._ok = True
         self._value = value
-        self.sim._enqueue(delay, self)
+        sim = self.sim
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heappush(sim._heap, (sim._now + delay, next(sim._seq), self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -147,7 +256,10 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.sim._enqueue(delay, self)
+        sim = self.sim
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heappush(sim._heap, (sim._now + delay, next(sim._seq), self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -168,12 +280,22 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        # Straight-line slot assignment: this is the single hottest
+        # constructor in the system (one per `yield sim.timeout(dt)`),
+        # so it bypasses Event.__init__ and builds no name string.
+        self.sim = sim
+        self.name = ""
+        self._callbacks = None
         self._value = value
-        sim._enqueue(delay, self)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        heappush(sim._heap, (sim._now + delay, next(sim._seq), self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else "triggered"
+        return f"<Timeout({self.delay:g}) {state}>"
 
 
 class _Condition(Event):
@@ -189,15 +311,16 @@ class _Condition(Event):
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
-        self.events: tuple[Event, ...] = tuple(events)
+        self.events: Tuple[Event, ...] = tuple(events)
         self._done_count = 0
+        observe = self._observe
         for ev in self.events:
             if ev.sim is not sim:
                 raise SimulationError("cannot compose events of different simulators")
-            if ev.processed:
-                self._observe(ev)
+            if ev._processed:
+                observe(ev)
             else:
-                ev.callbacks.append(self._observe)
+                ev.add_callback(observe)
         # An empty condition resolves immediately.
         if not self._triggered and self._satisfied():
             self.succeed(self._collect())
@@ -207,13 +330,13 @@ class _Condition(Event):
         raise NotImplementedError
 
     def _collect(self) -> Any:
-        return {ev: ev.value for ev in self.events if ev.processed or ev is self}
+        return {ev: ev.value for ev in self.events if ev._processed or ev is self}
 
     def _observe(self, ev: Event) -> None:
         if self._triggered:
             return
-        if not ev.ok:
-            self.fail(ev.value)
+        if not ev._ok:
+            self.fail(ev._value)
             return
         self._done_count += 1
         if self._satisfied():
@@ -257,7 +380,7 @@ class Process(Event):
     wait on each other.
     """
 
-    __slots__ = ("generator", "_target")
+    __slots__ = ("generator", "_target", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -268,8 +391,10 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self._target: Optional[Event] = None
-        bootstrap = Event(sim, name=f"init:{self.name}")
-        bootstrap.callbacks.append(self._resume)
+        #: bound once — appending a method per yield would allocate
+        self._resume_cb: Callback = self._resume
+        bootstrap = Event(sim)
+        bootstrap._callbacks = self._resume_cb
         bootstrap.succeed()
 
     @property
@@ -286,54 +411,60 @@ class Process(Event):
         if self._triggered:
             raise SimulationError(f"cannot interrupt finished {self!r}")
         carrier = Event(self.sim, name=f"interrupt:{self.name}")
-        carrier.callbacks.append(self._resume)
+        carrier._callbacks = self._resume_cb
         carrier.fail(Interrupt(cause))
 
     # internal -------------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
-        # Detach from a previous target if we were interrupted while waiting.
-        if self._target is not None and self._resume in self._target.callbacks:
-            self._target.callbacks.remove(self._resume)
+        # Detach from a previous target if we were interrupted while
+        # waiting (trigger is then the interrupt carrier, not the
+        # target; when a target fires normally it IS the trigger and
+        # its callback storage was already cleared by the calendar).
+        target = self._target
+        if target is not None and target is not trigger:
+            target.discard_callback(self._resume_cb)
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
-            if trigger.ok:
-                target = self.generator.send(trigger._value if trigger._value is not Event._PENDING else None)
+            if trigger._ok:
+                value = trigger._value
+                target = self.generator.send(None if value is _PENDING else value)
             else:
-                target = self.generator.throw(trigger.value)
+                target = self.generator.throw(trigger._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
             self.fail(exc)
             return
-        self.sim._active_process = None
+        sim._active_process = None
 
-        if isinstance(target, Process) and target is self:
+        if target is self:
             raise SimulationError("a process cannot wait on itself")
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes may "
                 "only yield Event instances"
             )
-        self._target = target
-        if target.processed:
+        if target._processed:
             # The event already fired; resume on a fresh zero-delay carrier
             # so resumption still goes through the calendar (keeps ordering
             # deterministic and stack depth bounded).
-            carrier = Event(self.sim)
-            carrier.callbacks.append(self._resume)
-            if target.ok:
-                carrier.succeed(target.value)
+            carrier = Event(sim)
+            carrier._callbacks = self._resume_cb
+            if target._ok:
+                carrier.succeed(target._value)
             else:
-                carrier.fail(target.value)
+                carrier.fail(target._value)
             self._target = carrier
         else:
-            target.callbacks.append(self._resume)
+            target.add_callback(self._resume_cb)
+            self._target = target
 
 
 class Simulator:
@@ -341,21 +472,24 @@ class Simulator:
 
     def __init__(self):
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: calendar events fired so far (the obs ``engine_events_total``
+        #: series and the wallclock microbench read this)
+        self.events_processed: int = 0
         #: optional multiplicative jitter applied by streams and links
         #: (see :mod:`repro.sim.noise`); None = exact determinism
-        self.noise = None
+        self.noise: Optional[Any] = None
         #: optional seeded fault-injection plan consulted by links,
         #: protocols, and the fusion scheduler (see
         #: :mod:`repro.sim.faults`); None = a perfect fabric and GPU
-        self.faults = None
+        self.faults: Optional[Any] = None
         #: telemetry sink consulted by instrumented hot paths (see
         #: :mod:`repro.obs`); the default NullObserver makes every
         #: observation a constant-time no-op that never touches the
         #: event calendar, so disabled telemetry cannot perturb timing
-        self.obs = NULL_OBSERVER
+        self.obs: Any = NULL_OBSERVER
 
     def __reduce__(self):
         # Live simulations hold generator-based processes, which cannot
@@ -403,27 +537,37 @@ class Simulator:
     def _enqueue(self, delay: float, event: Event) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+        heappush(self._heap, (self._now + delay, next(self._seq), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def _fire(self, event: Event) -> None:
+        """Run one popped event's callbacks (the shared step body)."""
+        event._processed = True
+        cbs = event._callbacks
+        if cbs is not None:
+            event._callbacks = None
+            if type(cbs) is list:
+                for callback in cbs:
+                    callback(event)
+            else:
+                cbs(event)
+        elif not event._ok:
+            # A failed event (or crashed process) nobody was waiting on
+            # would silently swallow the error — and often turn into a
+            # livelock downstream; surface it instead.
+            raise event._value
+
     def step(self) -> None:
         """Fire exactly one event (the earliest scheduled)."""
         if not self._heap:
             raise SimulationError("step() on an empty calendar")
-        when, _, event = heapq.heappop(self._heap)
+        when, _, event = heappop(self._heap)
         self._now = when
-        event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
-        if not event.ok and not callbacks:
-            # A failed event (or crashed process) nobody was waiting on
-            # would silently swallow the error — and often turn into a
-            # livelock downstream; surface it instead.
-            raise event.value
+        self.events_processed += 1
+        self._fire(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -431,26 +575,50 @@ class Simulator:
         ``until`` may be ``None`` (run to calendar exhaustion), a time
         (run until the clock reaches it), or an :class:`Event` (run until
         it fires, returning its value / raising its failure).
+
+        The drain loops inline the :meth:`step` body — one Python-level
+        call per event would be a measurable share of sweep wall time.
         """
+        heap = self._heap
+        fire = self._fire
+        fired = 0
         if until is None:
-            while self._heap:
-                self.step()
+            try:
+                while heap:
+                    when, _, event = heappop(heap)
+                    self._now = when
+                    fired += 1
+                    fire(event)
+            finally:
+                self.events_processed += fired
             return None
         if isinstance(until, Event):
-            while not until.processed:
-                if not self._heap:
-                    raise SimulationError(
-                        f"simulation ran out of events before {until!r} fired "
-                        "(deadlock?)"
-                    )
-                self.step()
-            if until.ok:
-                return until.value
-            raise until.value
+            try:
+                while not until._processed:
+                    if not heap:
+                        raise SimulationError(
+                            f"simulation ran out of events before {until!r} fired "
+                            "(deadlock?)"
+                        )
+                    when, _, event = heappop(heap)
+                    self._now = when
+                    fired += 1
+                    fire(event)
+            finally:
+                self.events_processed += fired
+            if until._ok:
+                return until._value
+            raise until._value
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(f"cannot run until {horizon} < now ({self._now})")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        try:
+            while heap and heap[0][0] <= horizon:
+                when, _, event = heappop(heap)
+                self._now = when
+                fired += 1
+                fire(event)
+        finally:
+            self.events_processed += fired
         self._now = horizon
         return None

@@ -38,6 +38,8 @@ class Resource:
             link.release()
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters")
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -59,7 +61,9 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that fires when a slot is granted."""
-        ev = Event(self.sim, name=f"request:{self.name}")
+        # No per-event name: one of these is built per transfer, and the
+        # f-string showed up in sweep profiles.
+        ev = Event(self.sim)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
@@ -85,6 +89,8 @@ class Store:
     which case the put event fires once space frees up.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_items", "_getters", "_putters")
+
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
@@ -105,7 +111,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Deposit ``item``; returns an event firing when accepted."""
-        ev = Event(self.sim, name=f"put:{self.name}")
+        ev = Event(self.sim)
         if self._getters:
             # Hand straight to the oldest waiting getter.
             self._getters.popleft().succeed(item)
@@ -119,7 +125,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the oldest item."""
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim)
         if self._items:
             item = self._items.popleft()
             ev.succeed(item)
@@ -151,6 +157,8 @@ class Channel:
     vice versa.  Used by tests and examples to wire toy protocols.
     """
 
+    __slots__ = ("sim", "name", "_a_to_b", "_b_to_a")
+
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
@@ -168,6 +176,8 @@ class Channel:
 
 class ChannelEnd:
     """One side of a :class:`Channel`."""
+
+    __slots__ = ("_outbox", "_inbox")
 
     def __init__(self, outbox: Store, inbox: Store):
         self._outbox = outbox
