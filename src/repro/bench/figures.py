@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..config import ExperimentConfig
 from ..obs.artifact import experiment_artifact
 from ..obs.metrics import MetricsRegistry
 from .sweep import (
@@ -100,23 +101,40 @@ FIG14_CASES: Dict[str, List[int]] = {
 FIG14_SCHEMES = ["SpectrumMPI", "OpenMPI", "MVAPICH2-GDR", "Proposed"]
 
 
-def _spec(experiment: str, key: str, **kwargs: Any) -> ExperimentSpec:
-    kwargs.setdefault("iterations", ITERATIONS)
-    kwargs.setdefault("warmup", WARMUP)
-    kwargs.setdefault("data_plane", False)
-    return ExperimentSpec(experiment=experiment, key=key, **kwargs)
+#: the declarative base config every figure shard starts from; each
+#: grid point is ``FIG_BASE.with_overrides({...})`` with only the axes
+#: that figure sweeps
+FIG_BASE = ExperimentConfig.default().with_overrides(
+    {
+        "harness.iterations": ITERATIONS,
+        "harness.warmup": WARMUP,
+        "harness.data_plane": False,
+    }
+)
 
 
-def _scheme_fields(scheme: str, tuned_threshold: Optional[int] = None) -> Dict[str, Any]:
-    """Spec fields reconstructing one of the figure schemes by name."""
+def _spec(
+    experiment: str, key: str, overrides: Mapping[str, Any]
+) -> ExperimentSpec:
+    """One grid point: the figure base config + dotted-path overrides."""
+    return ExperimentSpec.from_config(
+        experiment, key, FIG_BASE.with_overrides(overrides)
+    )
+
+
+def _scheme_overrides(
+    scheme: str, tuned_threshold: Optional[int] = None
+) -> Dict[str, Any]:
+    """Config overrides reconstructing one of the figure schemes by name."""
     if scheme == "Proposed-Tuned":
         if tuned_threshold is None:
             raise ValueError("Proposed-Tuned needs a tuned threshold")
         return {
-            "scheme": "Proposed-Tuned",
-            "config": {"threshold_bytes": tuned_threshold, "name": "Proposed-Tuned"},
+            "scheme.name": "Proposed-Tuned",
+            "scheme.label": "Proposed-Tuned",
+            "scheme.fusion.threshold_bytes": tuned_threshold,
         }
-    return {"scheme": scheme}
+    return {"scheme.name": scheme}
 
 
 # -- Fig. 1 table --------------------------------------------------------------
@@ -185,9 +203,11 @@ def _fig08_expand(_tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
         _spec(
             "fig08_threshold",
             f"thr={threshold // KiB}KB/dim={dim}",
-            scheme="Proposed",
-            config={"threshold_bytes": threshold},
-            dim=dim,
+            {
+                "scheme.name": "Proposed",
+                "scheme.fusion.threshold_bytes": threshold,
+                "workload.dim": dim,
+            },
         )
         for dim in FIG08_DIMS
         for threshold in FIG08_THRESHOLDS
@@ -199,9 +219,11 @@ def _fig09_expand(_tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
         _spec(
             "fig09_bulk_sparse",
             f"{scheme}/nbuf={nbuf}",
-            scheme=scheme,
-            dim=FIG09_DIM,
-            nbuffers=nbuf,
+            {
+                "scheme.name": scheme,
+                "workload.dim": FIG09_DIM,
+                "workload.nbuffers": nbuf,
+            },
         )
         for scheme in FIG09_SCHEMES
         for nbuf in BULK_NBUFFERS
@@ -213,10 +235,12 @@ def _fig10_expand(_tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
         _spec(
             "fig10_bulk_dense",
             f"{scheme}/nbuf={nbuf}",
-            scheme=scheme,
-            workload="MILC",
-            dim=FIG10_DIM,
-            nbuffers=nbuf,
+            {
+                "scheme.name": scheme,
+                "workload.name": "MILC",
+                "workload.dim": FIG10_DIM,
+                "workload.nbuffers": nbuf,
+            },
         )
         for scheme in FIG09_SCHEMES
         for nbuf in BULK_NBUFFERS
@@ -225,10 +249,12 @@ def _fig10_expand(_tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
         _spec(
             "fig10_bulk_dense",
             f"dim={FIG10_DIM_SMALL}/{scheme}/nbuf={nbuf}",
-            scheme=scheme,
-            workload="MILC",
-            dim=FIG10_DIM_SMALL,
-            nbuffers=nbuf,
+            {
+                "scheme.name": scheme,
+                "workload.name": "MILC",
+                "workload.dim": FIG10_DIM_SMALL,
+                "workload.nbuffers": nbuf,
+            },
         )
         for scheme in FIG09_SCHEMES
         for nbuf in BULK_NBUFFERS
@@ -239,19 +265,16 @@ def _fig10_expand(_tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
 def _fig11_expand(_tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
     specs = []
     for scheme in FIG11_SCHEMES:
-        config = {"threshold_bytes": 512 * KiB} if scheme == "Proposed" else {}
-        specs.append(
-            _spec(
-                "fig11_breakdown",
-                scheme,
-                scheme=scheme,
-                config=config,
-                system="ABCI",
-                workload="MILC",
-                dim=FIG11_DIM,
-                nbuffers=FIG11_NBUF,
-            )
-        )
+        overrides = {
+            "scheme.name": scheme,
+            "system.name": "ABCI",
+            "workload.name": "MILC",
+            "workload.dim": FIG11_DIM,
+            "workload.nbuffers": FIG11_NBUF,
+        }
+        if scheme == "Proposed":
+            overrides["scheme.fusion.threshold_bytes"] = 512 * KiB
+        specs.append(_spec("fig11_breakdown", scheme, overrides))
     return specs
 
 
@@ -268,11 +291,13 @@ def _figure12_tuning(experiment: str, system: str) -> List[ExperimentSpec]:
                 _spec(
                     experiment,
                     _tuning_key(workload, threshold),
-                    scheme="Proposed",
-                    config={"threshold_bytes": threshold},
-                    system=system,
-                    workload=workload,
-                    dim=mid,
+                    {
+                        "scheme.name": "Proposed",
+                        "scheme.fusion.threshold_bytes": threshold,
+                        "system.name": system,
+                        "workload.name": workload,
+                        "workload.dim": mid,
+                    },
                 )
             )
     return specs
@@ -307,10 +332,12 @@ def _figure12_grid(
                     _spec(
                         experiment,
                         f"{workload}/{scheme}/dim={dim}",
-                        system=system,
-                        workload=workload,
-                        dim=dim,
-                        **_scheme_fields(scheme, tuned[workload]),
+                        {
+                            "system.name": system,
+                            "workload.name": workload,
+                            "workload.dim": dim,
+                            **_scheme_overrides(scheme, tuned[workload]),
+                        },
                     )
                 )
     return specs
@@ -327,10 +354,12 @@ def _fig13_expand(tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
                 _spec(
                     "fig13",
                     f"lassen/{scheme}/dim={dim}",
-                    scheme=scheme,
-                    system="Lassen",
-                    workload="specfem3D_cm",
-                    dim=dim,
+                    {
+                        "scheme.name": scheme,
+                        "system.name": "Lassen",
+                        "workload.name": "specfem3D_cm",
+                        "workload.dim": dim,
+                    },
                 )
             )
     for scheme in ("GPU-Sync", "GPU-Async"):
@@ -338,10 +367,12 @@ def _fig13_expand(tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
             _spec(
                 "fig13",
                 f"lassen_milc/{scheme}/dim=16",
-                scheme=scheme,
-                system="Lassen",
-                workload="MILC",
-                dim=16,
+                {
+                    "scheme.name": scheme,
+                    "system.name": "Lassen",
+                    "workload.name": "MILC",
+                    "workload.dim": 16,
+                },
             )
         )
     return specs
@@ -352,9 +383,11 @@ def _fig14_expand(_tuning: Mapping[str, SweepResult]) -> List[ExperimentSpec]:
         _spec(
             "fig14_production",
             f"{workload}/{scheme}/dim={dim}",
-            scheme=scheme,
-            workload=workload,
-            dim=dim,
+            {
+                "scheme.name": scheme,
+                "workload.name": workload,
+                "workload.dim": dim,
+            },
         )
         for workload, dims in FIG14_CASES.items()
         for scheme in FIG14_SCHEMES

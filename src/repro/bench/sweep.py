@@ -47,6 +47,7 @@ from pathlib import Path
 from types import SimpleNamespace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..config import ExperimentConfig, HarnessCfg, ProtocolCfg, SchemeCfg, SystemCfg, WorkloadCfg
 from ..obs.artifact import result_entry
 from ..obs.metrics import MetricsRegistry
 from ..sim.trace import Category
@@ -66,10 +67,9 @@ __all__ = [
 ]
 
 CACHE_SCHEMA = "repro.obs/sweep-cache"
-CACHE_SCHEMA_VERSION = 1
-
-#: config keys forwarded to :class:`~repro.core.fusion_policy.FusionPolicy`
-_POLICY_KEYS = ("threshold_bytes", "max_batch_requests", "min_batch_requests")
+#: version 2: cache documents embed the spec's nested ``cfg`` tree
+#: (the config plane) instead of the old flat field dict
+CACHE_SCHEMA_VERSION = 2
 
 
 class SweepError(RuntimeError):
@@ -81,34 +81,148 @@ class SweepError(RuntimeError):
         self.failures: List[Tuple[str, str]] = list(failures)
 
 
-@dataclass(frozen=True)
+#: legacy flat-dict spec vocabulary (pre-config-plane cache documents
+#: and ``from_dict`` compatibility)
+_LEGACY_SPEC_FIELDS = (
+    "experiment",
+    "key",
+    "kind",
+    "system",
+    "scheme",
+    "workload",
+    "dim",
+    "nbuffers",
+    "config",
+    "iterations",
+    "warmup",
+    "data_plane",
+    "rendezvous_protocol",
+    "seed",
+    "table",
+)
+
+
+@dataclass(frozen=True, init=False)
 class ExperimentSpec:
     """One independent, seed-deterministic shard of a sweep.
 
-    Everything is by-value and picklable: systems, schemes, and
-    workloads are named, and :meth:`run_result` rebuilds the live
+    A spec is an :class:`~repro.config.ExperimentConfig` plus sweep
+    identity (``experiment``/``key``/``kind``/``table``).  Everything
+    is by-value and picklable: systems, schemes, and workloads are
+    named inside the config, and :meth:`run_result` rebuilds the live
     objects from the registries inside whichever process runs the
-    shard.  ``config`` carries scheme-constructor overrides exactly as
-    artifact entries record them (``threshold_bytes``, ``capacity``,
-    ``name`` …).
+    shard.
+
+    The historical flat keyword vocabulary (``scheme=``, ``dim=``,
+    ``config={...}`` with scheme-constructor overrides exactly as
+    artifact entries record them) still constructs a spec — it folds
+    into the config tree — and read-only properties expose the same
+    flat view.
     """
 
     experiment: str
     key: str
-    kind: str = "exchange"
-    system: str = "Lassen"
-    scheme: str = "Proposed"
-    workload: str = "specfem3D_cm"
-    dim: int = 1000
-    nbuffers: int = 16
-    config: Mapping[str, Any] = field(default_factory=dict)
-    iterations: int = 2
-    warmup: int = 1
-    data_plane: bool = False
-    rendezvous_protocol: str = "rput"
-    seed: int = 42
-    #: for ``kind="table"``: registered table builder name
-    table: str = ""
+    kind: str
+    table: str
+    cfg: ExperimentConfig
+
+    def __init__(
+        self,
+        experiment: str,
+        key: str,
+        kind: str = "exchange",
+        table: str = "",
+        cfg: Optional[ExperimentConfig] = None,
+        *,
+        system: str = "Lassen",
+        scheme: str = "Proposed",
+        workload: str = "specfem3D_cm",
+        dim: int = 1000,
+        nbuffers: int = 16,
+        config: Optional[Mapping[str, Any]] = None,
+        iterations: int = 2,
+        warmup: int = 1,
+        data_plane: bool = False,
+        rendezvous_protocol: str = "rput",
+        seed: int = 42,
+    ):
+        if cfg is None:
+            cfg = ExperimentConfig(
+                system=SystemCfg(name=system),
+                workload=WorkloadCfg(name=workload, dim=dim, nbuffers=nbuffers),
+                scheme=SchemeCfg.from_overrides(scheme, config or {}),
+                protocol=ProtocolCfg(rendezvous=rendezvous_protocol),
+                harness=HarnessCfg(
+                    iterations=iterations,
+                    warmup=warmup,
+                    data_plane=data_plane,
+                    seed=seed,
+                ),
+            )
+        object.__setattr__(self, "experiment", experiment)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "cfg", cfg)
+
+    @classmethod
+    def from_config(
+        cls,
+        experiment: str,
+        key: str,
+        cfg: ExperimentConfig,
+        *,
+        kind: str = "exchange",
+        table: str = "",
+    ) -> "ExperimentSpec":
+        """The config-plane constructor."""
+        return cls(experiment, key, kind, table, cfg)
+
+    # -- flat legacy view --------------------------------------------------
+    @property
+    def system(self) -> str:
+        return self.cfg.system.name
+
+    @property
+    def scheme(self) -> str:
+        return self.cfg.scheme.name
+
+    @property
+    def workload(self) -> str:
+        return self.cfg.workload.name
+
+    @property
+    def dim(self) -> int:
+        return self.cfg.workload.dim
+
+    @property
+    def nbuffers(self) -> int:
+        return self.cfg.workload.nbuffers
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        """Scheme-constructor overrides, in artifact-entry vocabulary."""
+        return self.cfg.scheme.overrides_dict()
+
+    @property
+    def iterations(self) -> int:
+        return self.cfg.harness.iterations
+
+    @property
+    def warmup(self) -> int:
+        return self.cfg.harness.warmup
+
+    @property
+    def data_plane(self) -> bool:
+        return self.cfg.harness.data_plane
+
+    @property
+    def rendezvous_protocol(self) -> str:
+        return self.cfg.protocol.rendezvous
+
+    @property
+    def seed(self) -> int:
+        return self.cfg.harness.seed
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -117,24 +231,23 @@ class ExperimentSpec:
             "experiment": self.experiment,
             "key": self.key,
             "kind": self.kind,
-            "system": self.system,
-            "scheme": self.scheme,
-            "workload": self.workload,
-            "dim": self.dim,
-            "nbuffers": self.nbuffers,
-            "config": {k: self.config[k] for k in sorted(self.config)},
-            "iterations": self.iterations,
-            "warmup": self.warmup,
-            "data_plane": self.data_plane,
-            "rendezvous_protocol": self.rendezvous_protocol,
-            "seed": self.seed,
             "table": self.table,
+            "cfg": self.cfg.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
-        known = {f: data[f] for f in _SPEC_FIELDS if f in data}
+        """Rebuild a spec from :meth:`to_dict` output (or from the
+        pre-config-plane flat shape)."""
+        if "cfg" in data:
+            return cls(
+                experiment=str(data["experiment"]),
+                key=str(data["key"]),
+                kind=str(data.get("kind", "exchange")),
+                table=str(data.get("table", "")),
+                cfg=ExperimentConfig.from_dict(data["cfg"]),
+            )
+        known = {f: data[f] for f in _LEGACY_SPEC_FIELDS if f in data}
         return cls(**known)
 
     @classmethod
@@ -164,12 +277,18 @@ class ExperimentSpec:
         )
 
     def cache_key(self, salt: str) -> str:
-        """Content address of this shard under a code-version salt."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        """Content address of this shard under a code-version salt.
+
+        Derives from the config's canonical
+        :meth:`~repro.config.ExperimentConfig.content_hash` plus the
+        sweep identity — ``PYTHONHASHSEED``-independent by
+        construction.
+        """
         digest = hashlib.sha256()
-        digest.update(salt.encode())
-        digest.update(b"\0")
-        digest.update(canonical.encode())
+        for part in (salt, self.experiment, self.key, self.kind, self.table):
+            digest.update(part.encode())
+            digest.update(b"\0")
+        digest.update(self.cfg.content_hash().encode())
         return digest.hexdigest()
 
     # -- execution ---------------------------------------------------------
@@ -190,22 +309,9 @@ class ExperimentSpec:
                 f"spec {self.key!r} has kind {self.kind!r}; only 'exchange' "
                 "shards produce an ExperimentResult"
             )
-        from ..net.systems import SYSTEMS
-        from ..workloads import WORKLOADS
         from .runner import run_bulk_exchange
 
-        return run_bulk_exchange(
-            SYSTEMS[self.system],
-            scheme_factory_for(self.scheme, self.config),
-            WORKLOADS[self.workload](self.dim),
-            nbuffers=self.nbuffers,
-            iterations=self.iterations,
-            warmup=self.warmup,
-            data_plane=self.data_plane,
-            rendezvous_protocol=self.rendezvous_protocol,
-            seed=self.seed,
-            obs=obs,
-        )
+        return run_bulk_exchange(self.cfg, obs=obs)
 
     def run_entry(self) -> Dict[str, Any]:
         """Run the shard; returns its serialized artifact entry."""
@@ -218,48 +324,23 @@ class ExperimentSpec:
         return result_entry(
             result,
             key=self.key,
-            config=dict(self.config) or None,
+            config=self.config or None,
             run=self.run_params(),
         )
-
-
-_SPEC_FIELDS = tuple(ExperimentSpec.__dataclass_fields__)
 
 
 def scheme_factory_for(scheme: str, config: Mapping[str, Any]):
     """Rebuild a ``factory(site, trace)`` from a scheme name + overrides.
 
-    Registry schemes pass through by name; any fusion override
-    (``threshold_bytes`` / ``capacity`` / policy knobs / ``name``)
-    builds a :class:`~repro.core.framework.KernelFusionScheme` exactly
-    as the benchmark drivers do, so a worker process reproduces the
-    serial run's scheme byte for byte.
+    Thin wrapper over :func:`repro.schemes.make_scheme_factory`: the
+    legacy ``config`` block (``threshold_bytes`` / ``capacity`` /
+    policy knobs / ``name``) folds into a
+    :class:`~repro.config.SchemeCfg`, so a worker process reproduces
+    the serial run's scheme byte for byte.
     """
-    config = dict(config or {})
-    if any(k in config for k in _POLICY_KEYS) or "capacity" in config or "name" in config:
-        from ..core.framework import KernelFusionScheme
-        from ..core.fusion_policy import FusionPolicy
+    from ..schemes import make_scheme_factory
 
-        policy_kwargs = {k: config[k] for k in _POLICY_KEYS if k in config}
-
-        def factory(site, trace):
-            return KernelFusionScheme(
-                site,
-                trace,
-                policy=FusionPolicy(**policy_kwargs),
-                capacity=config.get("capacity", 256),
-                name=config.get("name"),
-            )
-
-        return factory
-    from ..schemes import SCHEME_REGISTRY
-
-    if scheme not in SCHEME_REGISTRY:
-        raise KeyError(
-            f"scheme {scheme!r} is not in the registry and carries no "
-            "config — cannot rebuild its factory"
-        )
-    return SCHEME_REGISTRY[scheme]
+    return make_scheme_factory(SchemeCfg.from_overrides(scheme, config or {}))
 
 
 @functools.lru_cache(maxsize=1)

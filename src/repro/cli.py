@@ -21,7 +21,14 @@ without writing a script:
   single scheme run and print the top-N hot functions,
 * ``workloads`` — list the available workload generators,
 * ``describe``  — render a workload datatype's construction tree,
-* ``timeline``  — ASCII Gantt chart of one scheme's cost trace.
+* ``timeline``  — ASCII Gantt chart of one scheme's cost trace,
+* ``config``    — ``show``/``hash``/``diff`` the canonical
+  :class:`repro.config.ExperimentConfig` (dotted ``--set`` overrides,
+  JSON round-trip, content hash).
+
+Every run launched here is described by one ``ExperimentConfig`` — the
+flags above are folded into it by ``_experiment_config`` before the
+harness is invoked.
 
 ``--seed`` seeds both the payload RNG and (for ``faults``) the fault
 plan, so every run is reproducible end to end.
@@ -40,13 +47,20 @@ import sys
 from typing import Optional, Sequence
 
 from .bench import format_breakdown_table, format_latency_table, run_bulk_exchange
-from .core import KernelFusionScheme
+from .config import (
+    ExperimentConfig,
+    FaultsCfg,
+    FusionCfg,
+    HarnessCfg,
+    NoiseCfg,
+    SchemeCfg,
+    SystemCfg,
+    WorkloadCfg,
+)
 from .core.autotune import autotune_threshold, recommend_threshold
-from .core.fusion_policy import FusionPolicy
 from .net import SYSTEMS
 from .schemes import SCHEME_REGISTRY
-from .sim.faults import FAULT_PRESETS, FaultPlan
-from .sim.noise import NoiseModel
+from .sim.faults import FAULT_PRESETS
 from .sim.timeline import render_timeline
 from .workloads import WORKLOADS
 
@@ -78,26 +92,36 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _noise(args) -> Optional[NoiseModel]:
-    if getattr(args, "noise", 0.0) > 0.0:
-        return NoiseModel(seed=args.seed, cv=args.noise)
-    return None
+def _experiment_config(
+    args, scheme, *, fault_preset: Optional[str] = None
+) -> ExperimentConfig:
+    """Fold the common CLI flags into one canonical :class:`ExperimentConfig`.
 
-
-def _run(args, scheme_factory, faults: Optional[FaultPlan] = None, obs=None):
-    return run_bulk_exchange(
-        SYSTEMS[args.system],
-        scheme_factory,
-        WORKLOADS[args.workload](args.dim),
-        nbuffers=args.nbuffers,
-        iterations=args.iterations,
-        warmup=1,
-        data_plane=faults is not None,
-        seed=args.seed,
-        noise=_noise(args),
-        faults=faults,
-        obs=obs,
+    Every run a CLI command launches goes through here, so the CLI, the
+    test-suite, and the benchmark harness all share a single resolution
+    path from knobs to experiment.
+    """
+    scheme_cfg = scheme if isinstance(scheme, SchemeCfg) else SchemeCfg(name=scheme)
+    return ExperimentConfig(
+        system=SystemCfg(name=args.system),
+        workload=WorkloadCfg(
+            name=args.workload, dim=args.dim, nbuffers=args.nbuffers
+        ),
+        scheme=scheme_cfg,
+        noise=NoiseCfg(cv=getattr(args, "noise", 0.0)),
+        faults=FaultsCfg(preset=fault_preset),
+        harness=HarnessCfg(
+            iterations=args.iterations,
+            warmup=1,
+            data_plane=fault_preset is not None,
+            seed=args.seed,
+        ),
     )
+
+
+def _run(args, scheme, fault_preset: Optional[str] = None, obs=None):
+    cfg = _experiment_config(args, scheme, fault_preset=fault_preset)
+    return run_bulk_exchange(cfg, obs=obs)
 
 
 def _scheme_observer(registry, name: str, **extra: str):
@@ -123,11 +147,11 @@ def cmd_compare(args) -> int:
 
         registry = MetricsRegistry()
     results = {}
-    for name, factory in SCHEME_REGISTRY.items():
+    for name in SCHEME_REGISTRY:
         if args.skip_production and name in ("SpectrumMPI", "OpenMPI"):
             continue
         obs = _scheme_observer(registry, name) if registry is not None else None
-        results[name] = {args.dim: _run(args, factory, obs=obs)}
+        results[name] = {args.dim: _run(args, name, obs=obs)}
     print(
         format_latency_table(
             results,
@@ -159,7 +183,7 @@ def cmd_breakdown(args) -> int:
             # with the scheme name, and _rename below scopes the rest.
             scheme_rec = Recorder()
             obs = Observer(recorder=scheme_rec, const_labels={"scheme": name})
-        rows.append(_run(args, SCHEME_REGISTRY[name], obs=obs))
+        rows.append(_run(args, name, obs=obs))
         if recorder is not None:
             import dataclasses
 
@@ -193,12 +217,11 @@ def cmd_sweep(args) -> int:
     )
     print(f"{'threshold':>12}{'latency':>12}{'kernels':>9}{'mean batch':>12}")
     for threshold in args.thresholds:
-        def factory(site, trace, _t=threshold * KiB):
-            return KernelFusionScheme(
-                site, trace, policy=FusionPolicy(threshold_bytes=_t)
-            )
-
-        result = _run(args, factory)
+        scheme = SchemeCfg(
+            name="Proposed",
+            fusion=FusionCfg(threshold_bytes=threshold * KiB),
+        )
+        result = _run(args, scheme)
         stats = result.scheduler_stats
         print(
             f"{threshold:>10}KB{result.mean_latency * 1e6:>10.1f}us"
@@ -295,8 +318,7 @@ def cmd_faults(args) -> int:
             return None
         return _scheme_observer(registry, args.scheme, preset=preset)
 
-    factory = SCHEME_REGISTRY[args.scheme]
-    clean = _run(args, factory, obs=observer("none"))
+    clean = _run(args, args.scheme, obs=observer("none"))
     print(
         f"Chaos sweep: {args.scheme} on {args.workload} dim={args.dim}, "
         f"{args.nbuffers} buffers, {args.system}, seed={args.seed}"
@@ -307,8 +329,7 @@ def cmd_faults(args) -> int:
         f"{'injected':>10}{'recovered':>11}  delivered"
     )
     for name in args.presets:
-        plan = FaultPlan(seed=args.seed, spec=FAULT_PRESETS[name])
-        result = _run(args, factory, faults=plan, obs=observer(name))
+        result = _run(args, args.scheme, fault_preset=name, obs=observer(name))
         rec = result.recovery
         print(
             f"{name:>10}{result.mean_latency * 1e6:>10.1f}us"
@@ -411,9 +432,8 @@ def cmd_profile(args) -> int:
             f"profiling {args.scheme} on {args.workload} dim={args.dim} "
             f"({args.iterations} iterations) ...\n"
         )
-        factory = SCHEME_REGISTRY[args.scheme]
         profiler.enable()
-        _run(args, factory)
+        _run(args, args.scheme)
         profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort)
@@ -443,7 +463,7 @@ def cmd_describe(args) -> int:
 
 
 def cmd_timeline(args) -> int:
-    result = _run(args, SCHEME_REGISTRY[args.scheme])
+    result = _run(args, args.scheme)
     print(
         f"{args.scheme} on {args.workload} dim={args.dim} "
         f"({result.mean_latency * 1e6:.1f} us/iteration)\n"
@@ -473,6 +493,69 @@ def cmd_timeline(args) -> int:
     sim.run(sim.all_of(procs))
     print(render_timeline(r0.trace, width=args.width))
     return 0
+
+
+def _parse_set_value(raw: str):
+    """``--set`` values are JSON when they parse, bare strings otherwise.
+
+    ``--set workload.dim=2000`` gives an int, ``--set scheme.name=Proposed``
+    a string — no need to quote scalars at the shell.
+    """
+    import json
+
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def _config_from_args(args) -> ExperimentConfig:
+    import json
+
+    if getattr(args, "file", None):
+        with open(args.file) as fh:
+            cfg = ExperimentConfig.from_dict(json.load(fh))
+    else:
+        cfg = ExperimentConfig.default()
+    overrides = {}
+    for item in getattr(args, "sets", None) or []:
+        path, sep, raw = item.partition("=")
+        if not sep or not path:
+            raise SystemExit(f"--set expects PATH=VALUE, got {item!r}")
+        overrides[path] = _parse_set_value(raw)
+    if overrides:
+        cfg = cfg.with_overrides(overrides)
+    return cfg
+
+
+def cmd_config_show(args) -> int:
+    import json
+
+    print(json.dumps(_config_from_args(args).to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_config_hash(args) -> int:
+    print(_config_from_args(args).content_hash())
+    return 0
+
+
+def cmd_config_diff(args) -> int:
+    """Dotted-path diff of two config JSON files; exit 1 when they differ."""
+    import json
+
+    def load(path: str) -> ExperimentConfig:
+        with open(path) as fh:
+            return ExperimentConfig.from_dict(json.load(fh))
+
+    diffs = load(args.a).diff(load(args.b))
+    if not diffs:
+        print("configs identical")
+        return 0
+    for path in sorted(diffs):
+        old, new = diffs[path]
+        print(f"{path}: {old!r} -> {new!r}")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -669,6 +752,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="Proposed", choices=sorted(SCHEME_REGISTRY))
     p.add_argument("--width", type=int, default=72)
     p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser(
+        "config", help="inspect the canonical experiment configuration"
+    )
+    csub = p.add_subparsers(dest="config_command", required=True)
+
+    def _add_config_inputs(q: argparse.ArgumentParser) -> None:
+        q.add_argument(
+            "--file", default=None, metavar="PATH",
+            help="start from a config JSON file instead of the defaults",
+        )
+        q.add_argument(
+            "--set", action="append", default=None, dest="sets",
+            metavar="PATH=VALUE",
+            help="dotted-path override, e.g. workload.dim=2000 (repeatable; "
+            "VALUE is parsed as JSON, falling back to a bare string)",
+        )
+
+    q = csub.add_parser("show", help="print the resolved config as JSON")
+    _add_config_inputs(q)
+    q.set_defaults(fn=cmd_config_show)
+
+    q = csub.add_parser(
+        "hash", help="print the canonical content hash of the config"
+    )
+    _add_config_inputs(q)
+    q.set_defaults(fn=cmd_config_hash)
+
+    q = csub.add_parser(
+        "diff", help="dotted-path diff of two config JSON files"
+    )
+    q.add_argument("a", help="baseline config JSON file")
+    q.add_argument("b", help="candidate config JSON file")
+    q.set_defaults(fn=cmd_config_diff)
 
     return parser
 

@@ -1,0 +1,36 @@
+"""``repro.config`` — the unified experiment-config plane.
+
+One canonical, validated, hashable :class:`ExperimentConfig` describes
+every experiment; see :mod:`repro.config.tree` for the contracts and
+``docs/configuration.md`` for the field catalog.
+"""
+
+from .tree import (
+    CONFIG_SCHEMA,
+    ExperimentConfig,
+    FaultsCfg,
+    FusionCfg,
+    HarnessCfg,
+    NoiseCfg,
+    ObsCfg,
+    ProtocolCfg,
+    SchemeCfg,
+    SystemCfg,
+    WorkloadCfg,
+    config_diff,
+)
+
+__all__ = [
+    "CONFIG_SCHEMA",
+    "ExperimentConfig",
+    "SystemCfg",
+    "WorkloadCfg",
+    "FusionCfg",
+    "SchemeCfg",
+    "ProtocolCfg",
+    "FaultsCfg",
+    "NoiseCfg",
+    "ObsCfg",
+    "HarnessCfg",
+    "config_diff",
+]

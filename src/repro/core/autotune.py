@@ -98,22 +98,45 @@ def autotune_threshold(
     """Empirical §IV-C tuning: sweep candidates, return the argmin."""
     # Imported here: bench depends on core for the proposed scheme.
     from ..bench.runner import run_bulk_exchange
-    from .framework import KernelFusionScheme
-    from .fusion_policy import FusionPolicy
+    from ..config import ExperimentConfig, HarnessCfg, SystemCfg, WorkloadCfg
+    from ..net.systems import SYSTEMS
+    from ..workloads import WORKLOADS
 
     if not candidates:
         raise ValueError("need at least one candidate threshold")
+
+    base = None
+    if system.name in SYSTEMS and spec.name in WORKLOADS:
+        base = ExperimentConfig(
+            system=SystemCfg(name=system.name),
+            workload=WorkloadCfg(name=spec.name, dim=spec.dim, nbuffers=nbuffers),
+            harness=HarnessCfg(
+                iterations=iterations, warmup=warmup, data_plane=False
+            ),
+        )
+
     curve: Dict[int, float] = {}
     for threshold in candidates:
-        def factory(site, trace, _t=threshold):
-            return KernelFusionScheme(
-                site, trace, policy=FusionPolicy(threshold_bytes=_t)
+        if base is not None:
+            cfg = base.with_overrides(
+                {"scheme.fusion.threshold_bytes": threshold}
             )
+            result = run_bulk_exchange(cfg)
+        else:
+            # Caller handed us out-of-registry system/workload objects the
+            # config plane cannot name — go through the legacy shim.
+            from .framework import KernelFusionScheme
+            from .fusion_policy import FusionPolicy
 
-        result = run_bulk_exchange(
-            system, factory, spec, nbuffers=nbuffers,
-            iterations=iterations, warmup=warmup, data_plane=False,
-        )
+            def factory(site, trace, _t=threshold):
+                return KernelFusionScheme(
+                    site, trace, policy=FusionPolicy(threshold_bytes=_t)
+                )
+
+            result = run_bulk_exchange(
+                system, factory, spec, nbuffers=nbuffers,
+                iterations=iterations, warmup=warmup, data_plane=False,
+            )
         curve[threshold] = result.mean_latency
     best = min(curve, key=curve.get)
     return AutotuneResult(best_threshold=best, best_latency=curve[best], curve=curve)

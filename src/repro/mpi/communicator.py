@@ -28,13 +28,14 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence, Union
 
+from ..config import ProtocolCfg
 from ..datatypes.base import Datatype
 from ..datatypes.cache import LayoutCache
 from ..datatypes.layout import DataLayout
 from ..gpu.memory import BufferPool, GPUBuffer
 from ..net.topology import Cluster, RankSite
 from ..schemes.base import PackingScheme
-from ..sim.engine import Event, Simulator, us
+from ..sim.engine import Event, Simulator
 from ..sim.trace import Category, Trace
 from .matching import ANY_SOURCE, MatchingEngine, MessageRecord
 from .protocols import (
@@ -68,40 +69,43 @@ class Runtime:
         cluster: Cluster,
         scheme_factory: SchemeFactory,
         *,
-        rendezvous_protocol: str = RPUT,
-        enable_direct_ipc: bool = False,
-        eager_threshold: Optional[int] = None,
-        poll_interval: float = us(1.0),
-        layout_cache_enabled: bool = True,
-        flatten_base_cost: float = us(0.5),
-        flatten_block_cost: float = 4e-9,
-        host_staging_threshold: Optional[int] = None,
-        pipeline_chunk_bytes: int = 256 * 1024,
+        protocol: Optional[ProtocolCfg] = None,
+        **legacy_kwargs,
     ):
-        if rendezvous_protocol not in (RPUT, RGET):
-            raise ValueError(f"unknown rendezvous protocol {rendezvous_protocol!r}")
+        if protocol is None:
+            # Deprecation shim: the loose keyword vocabulary
+            # (rendezvous_protocol=..., eager_threshold=...) folds into
+            # one validated ProtocolCfg — the single source of truth.
+            protocol = ProtocolCfg.from_kwargs(**legacy_kwargs)
+        elif legacy_kwargs:
+            raise TypeError(
+                "pass either protocol=ProtocolCfg(...) or legacy keyword "
+                f"knobs, not both: {sorted(legacy_kwargs)}"
+            )
         self.sim = sim
         self.cluster = cluster
-        self.rendezvous_protocol = rendezvous_protocol
-        self.enable_direct_ipc = enable_direct_ipc
+        #: the validated transport sub-config this runtime was built from
+        self.protocol = protocol
+        self.rendezvous_protocol = protocol.rendezvous
+        self.enable_direct_ipc = protocol.enable_direct_ipc
         self.eager_threshold = (
-            cluster.system.eager_threshold if eager_threshold is None else eager_threshold
+            cluster.system.eager_threshold
+            if protocol.eager_threshold is None
+            else protocol.eager_threshold
         )
-        self.poll_interval = poll_interval
+        self.poll_interval = protocol.poll_interval
         #: datatype layout cache of [24]: when disabled, every message
         #: pays the flatten cost below (the Table I "Layout Cache"
         #: column made measurable; see the cache ablation benchmark)
-        self.layout_cache_enabled = layout_cache_enabled
+        self.layout_cache_enabled = protocol.layout_cache_enabled
         #: CPU cost of one layout extraction: base + per-block walk
-        self.flatten_base_cost = flatten_base_cost
-        self.flatten_block_cost = flatten_block_cost
+        self.flatten_base_cost = protocol.flatten_base_cost
+        self.flatten_block_cost = protocol.flatten_block_cost
         #: messages at/above this use the host-staged chunked pipeline
         #: instead of GPUDirect rendezvous (None = never; the classic
         #: MVAPICH large-message path for PCIe-limited systems)
-        self.host_staging_threshold = host_staging_threshold
-        if pipeline_chunk_bytes < 1:
-            raise ValueError("pipeline_chunk_bytes must be positive")
-        self.pipeline_chunk_bytes = pipeline_chunk_bytes
+        self.host_staging_threshold = protocol.host_staging_threshold
+        self.pipeline_chunk_bytes = protocol.pipeline_chunk_bytes
         #: control-plane recovery counters (RTS retransmits, CTS
         #: re-offers) — only ever nonzero under fault injection
         self.recovery = WatchdogStats()

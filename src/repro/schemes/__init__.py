@@ -2,11 +2,16 @@
 
 The proposed design itself lives in :mod:`repro.core`; this package
 holds the scheme interface and every competitor, plus a registry used
-by the benchmark harness.
+by the benchmark harness.  :func:`make_scheme_factory` is the single
+instantiation path: it consumes a :class:`~repro.config.SchemeCfg`
+(or a legacy ``(name, **kwargs)`` pair) and validates every override
+against the scheme's constructor signature.
 """
 
-from typing import Callable, Dict
+import inspect
+from typing import Any, Callable, Dict, Union
 
+from ..config import SchemeCfg
 from ..net.topology import RankSite
 from ..sim.trace import Trace
 from .base import OpHandle, PackingScheme, SchemeCapabilities
@@ -56,13 +61,91 @@ SCHEME_REGISTRY: Dict[str, Callable[[RankSite, Trace], PackingScheme]] = {
 }
 
 
-def make_scheme_factory(name: str, **kwargs) -> Callable[[RankSite, Trace], PackingScheme]:
-    """Factory for ``name`` with constructor overrides baked in."""
-    base = SCHEME_REGISTRY[name]
+#: alias factories take no constructor overrides
+_ALIASED = (_spectrum_factory, _openmpi_factory, _proposed_factory)
+
+
+def _validate_scheme_kwargs(name: str, ctor: Callable, kwargs: Dict[str, Any]) -> None:
+    """Reject keyword overrides the scheme's constructor cannot accept.
+
+    Validated eagerly (at factory-build time, not first call), naming
+    the bad key and the scheme — the satellite fix for the old silent
+    forwarding of unknown kwargs.
+    """
+    if not kwargs:
+        return
+    if ctor in _ALIASED:
+        raise ValueError(f"overrides not supported for aliased scheme {name!r}")
+    params = inspect.signature(ctor).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return
+    accepted = {
+        pname
+        for pname, p in params.items()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        and pname not in ("site", "trace")
+    }
+    for key in kwargs:
+        if key not in accepted:
+            raise ValueError(
+                f"unknown option {key!r} for scheme {name!r} "
+                f"(accepted: {sorted(accepted)})"
+            )
+
+
+def _fusion_factory(cfg: SchemeCfg) -> Callable[[RankSite, Trace], PackingScheme]:
+    from ..core.framework import KernelFusionScheme
+    from ..core.fusion_policy import FusionPolicy
+
+    policy = FusionPolicy(**cfg.fusion.policy_kwargs())
+    capacity = cfg.fusion.capacity if cfg.fusion.capacity is not None else 256
+    options = dict(cfg.options)
+    _validate_scheme_kwargs(cfg.name, KernelFusionScheme, options)
 
     def factory(site: RankSite, trace: Trace) -> PackingScheme:
-        if kwargs and base in (_spectrum_factory, _openmpi_factory, _proposed_factory):
-            raise ValueError(f"overrides not supported for aliased scheme {name!r}")
-        return base(site, trace, **kwargs) if kwargs else base(site, trace)
+        return KernelFusionScheme(
+            site, trace, policy=policy, capacity=capacity, name=cfg.label, **options
+        )
+
+    return factory
+
+
+def make_scheme_factory(
+    scheme: Union[str, SchemeCfg], **kwargs: Any
+) -> Callable[[RankSite, Trace], PackingScheme]:
+    """The single scheme-instantiation path: ``factory(site, trace)``.
+
+    Accepts a :class:`~repro.config.SchemeCfg` (the config plane) or a
+    legacy ``(name, **kwargs)`` pair, which is folded into one.  A
+    fusion-configured scheme config (any ``fusion`` override or a
+    ``label``) builds a :class:`~repro.core.framework.KernelFusionScheme`
+    exactly as the benchmark drivers do; everything else resolves
+    through :data:`SCHEME_REGISTRY`.  Unknown scheme names raise
+    ``KeyError``; unknown constructor overrides raise ``ValueError``
+    naming the bad key and the scheme.
+    """
+    if isinstance(scheme, SchemeCfg):
+        if kwargs:
+            raise TypeError("pass overrides inside SchemeCfg, not as keywords")
+        cfg = scheme
+    else:
+        cfg = SchemeCfg.from_overrides(scheme, kwargs)
+
+    if cfg.fusion_configured:
+        return _fusion_factory(cfg)
+
+    if cfg.name not in SCHEME_REGISTRY:
+        raise KeyError(
+            f"scheme {cfg.name!r} is not in the registry and carries no "
+            "fusion config — cannot build its factory"
+        )
+    base = SCHEME_REGISTRY[cfg.name]
+    options = dict(cfg.options)
+    _validate_scheme_kwargs(cfg.name, base, options)
+    if not options:
+        return base
+
+    def factory(site: RankSite, trace: Trace) -> PackingScheme:
+        return base(site, trace, **options)
 
     return factory

@@ -156,3 +156,85 @@ def test_figure_sweep_no_cache(capsys, tmp_path):
     assert "fig01: 1 shards — 1 run, 0 cached" in out
     assert "cache:" not in out
     assert (tmp_path / "BENCH_fig01_launch_overhead.json").exists()
+
+
+def test_config_in_help():
+    assert "config" in build_parser().format_help()
+
+
+def test_config_show_round_trips(capsys):
+    import json
+
+    from repro.config import ExperimentConfig
+
+    assert main(["config", "show"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert ExperimentConfig.from_dict(data) == ExperimentConfig.default()
+
+
+def test_config_hash_matches_library(capsys):
+    from repro.config import ExperimentConfig
+
+    assert main(["config", "hash"]) == 0
+    assert capsys.readouterr().out.strip() == (
+        ExperimentConfig.default().content_hash()
+    )
+
+
+def test_config_set_overrides(capsys):
+    import json
+
+    assert main([
+        "config", "show",
+        "--set", "workload.dim=2000",
+        "--set", "scheme.name=GPU-Async",
+    ]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["workload"]["dim"] == 2000
+    assert data["scheme"]["name"] == "GPU-Async"
+
+    assert main(["config", "hash", "--set", "workload.dim=2000"]) == 0
+    changed = capsys.readouterr().out.strip()
+    assert main(["config", "hash"]) == 0
+    assert changed != capsys.readouterr().out.strip()
+
+
+def test_config_set_rejects_unknown_path_and_bad_syntax(capsys):
+    with pytest.raises(ValueError, match="unknown config path"):
+        main(["config", "hash", "--set", "workload.dimension=2000"])
+    with pytest.raises(SystemExit, match="PATH=VALUE"):
+        main(["config", "hash", "--set", "workload.dim"])
+
+
+def test_config_diff_files(capsys, tmp_path):
+    import json
+
+    from repro.config import ExperimentConfig
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    base = ExperimentConfig.default()
+    a.write_text(json.dumps(base.to_dict()))
+    b.write_text(json.dumps(
+        base.with_overrides({"workload.dim": 2000}).to_dict()
+    ))
+    assert main(["config", "diff", str(a), str(a)]) == 0
+    assert "identical" in capsys.readouterr().out
+    assert main(["config", "diff", str(a), str(b)]) == 1
+    assert "workload.dim: 1000 -> 2000" in capsys.readouterr().out
+
+
+def test_config_show_from_file(capsys, tmp_path):
+    import json
+
+    from repro.config import ExperimentConfig
+
+    path = tmp_path / "cfg.json"
+    cfg = ExperimentConfig.default().with_overrides({"harness.seed": 7})
+    path.write_text(json.dumps(cfg.to_dict()))
+    assert main(["config", "hash", "--file", str(path)]) == 0
+    assert capsys.readouterr().out.strip() == cfg.content_hash()
+    assert main([
+        "config", "hash", "--file", str(path), "--set", "harness.seed=8",
+    ]) == 0
+    assert capsys.readouterr().out.strip() != cfg.content_hash()

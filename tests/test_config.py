@@ -1,0 +1,269 @@
+"""Tests for the canonical experiment-config plane (:mod:`repro.config`).
+
+Pins the contracts DESIGN §7 promises: JSON round-trip, dotted-path
+overrides with unknown-path rejection, construction-time validation,
+and a canonical content hash that is stable across processes and
+``PYTHONHASHSEED`` values.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.bench.sweep import ExperimentSpec
+from repro.config import (
+    ExperimentConfig,
+    FaultsCfg,
+    FusionCfg,
+    HarnessCfg,
+    NoiseCfg,
+    ProtocolCfg,
+    SchemeCfg,
+    SystemCfg,
+    WorkloadCfg,
+)
+
+KiB = 1024
+
+#: sha256 of the documented default config under ``repro.config/v1``.
+#: This pin fails loudly when the canonical form drifts — a deliberate
+#: schema change must bump CONFIG_SCHEMA and update this value (which
+#: also invalidates every sweep-cache entry, as it must).
+GOLDEN_DEFAULT_HASH = (
+    "81b7b92480dee7939a7dc88337718cce0e83abf16686a5c4db11872d644fd4c9"
+)
+
+
+# -- round-trip ---------------------------------------------------------------
+
+
+def test_default_round_trips_through_json():
+    cfg = ExperimentConfig.default()
+    assert ExperimentConfig.from_dict(cfg.to_dict()) == cfg
+    # And through an actual JSON encode/decode, not just dicts.
+    assert ExperimentConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+
+def test_nondefault_round_trips_through_json():
+    cfg = ExperimentConfig(
+        system=SystemCfg(name="ABCI"),
+        workload=WorkloadCfg(name="MILC", dim=32, nbuffers=8),
+        scheme=SchemeCfg(
+            name="Proposed-Tuned",
+            label="Proposed-Tuned",
+            fusion=FusionCfg(threshold_bytes=512 * KiB, capacity=128),
+            options={"poll_interval": 2e-6},
+        ),
+        protocol=ProtocolCfg(rendezvous="rget", eager_threshold=8 * KiB),
+        faults=FaultsCfg(preset="light", spec={"control_drop": 0.5}, seed=7),
+        noise=NoiseCfg(cv=0.05, seed=3),
+        harness=HarnessCfg(iterations=2, warmup=0, data_plane=False, seed=9),
+    )
+    assert ExperimentConfig.from_dict(json.loads(cfg.canonical_json())) == cfg
+
+
+def test_from_dict_rejects_unknown_keys_by_dotted_path():
+    data = ExperimentConfig.default().to_dict()
+    data["workload"]["dimension"] = 2000
+    with pytest.raises(ValueError, match="workload.dimension"):
+        ExperimentConfig.from_dict(data)
+    with pytest.raises(ValueError, match="unknown config key"):
+        ExperimentConfig.from_dict({"sytem": {}})
+
+
+def test_partial_from_dict_fills_defaults():
+    cfg = ExperimentConfig.from_dict({"workload": {"dim": 2000}})
+    assert cfg.workload.dim == 2000
+    assert cfg.workload.name == "specfem3D_cm"
+    assert cfg.system == SystemCfg()
+
+
+# -- dotted-path overrides ----------------------------------------------------
+
+
+def test_with_overrides_sets_nested_leaves():
+    cfg = ExperimentConfig.default().with_overrides(
+        {
+            "workload.dim": 2000,
+            "scheme.fusion.threshold_bytes": 512 * KiB,
+            "protocol.rendezvous": "rget",
+            "harness.iterations": 2,
+        }
+    )
+    assert cfg.workload.dim == 2000
+    assert cfg.scheme.fusion.threshold_bytes == 512 * KiB
+    assert cfg.protocol.rendezvous == "rget"
+    assert cfg.harness.iterations == 2
+    # The original is untouched (frozen + copy-on-write).
+    assert ExperimentConfig.default().workload.dim == 1000
+
+
+def test_with_overrides_rejects_unknown_paths():
+    cfg = ExperimentConfig.default()
+    with pytest.raises(ValueError, match="unknown config path 'workload.dimension'"):
+        cfg.with_overrides({"workload.dimension": 2000})
+    with pytest.raises(ValueError, match="unknown config path"):
+        cfg.with_overrides({"nope.dim": 1})
+    with pytest.raises(ValueError, match="malformed override path"):
+        cfg.with_overrides({"workload..dim": 1})
+
+
+def test_with_overrides_rejects_replacing_a_section_with_a_scalar():
+    with pytest.raises(ValueError, match="targets a config section"):
+        ExperimentConfig.default().with_overrides({"workload": 5})
+
+
+def test_with_overrides_allows_new_keys_in_freeform_mappings():
+    cfg = ExperimentConfig.default().with_overrides(
+        {"scheme.options.poll_interval": 2e-6}
+    )
+    assert cfg.scheme.options == {"poll_interval": 2e-6}
+    cfg = ExperimentConfig.default().with_overrides(
+        {"faults.spec": {"control_drop": 0.25}}
+    )
+    assert cfg.faults.spec == {"control_drop": 0.25}
+
+
+def test_with_overrides_revalidates():
+    with pytest.raises(ValueError, match="workload.nbuffers"):
+        ExperimentConfig.default().with_overrides({"workload.nbuffers": 0})
+
+
+# -- validation at construction ----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "build, match",
+    [
+        (lambda: WorkloadCfg(nbuffers=0), "workload.nbuffers"),
+        (lambda: WorkloadCfg(dim=0), "workload.dim"),
+        (lambda: SystemCfg(nodes=0), "system.nodes"),
+        (lambda: ProtocolCfg(eager_threshold=-1), "protocol.eager_threshold"),
+        (lambda: ProtocolCfg(rendezvous="push"), "unknown rendezvous protocol"),
+        (lambda: ProtocolCfg(pipeline_chunk_bytes=0), "pipeline_chunk_bytes"),
+        (lambda: HarnessCfg(iterations=0), "iterations"),
+        (lambda: HarnessCfg(warmup=-1), "warmup"),
+        (lambda: NoiseCfg(cv=-0.1), "noise.cv"),
+        (lambda: FaultsCfg(preset="apocalypse"), "unknown fault preset"),
+        (lambda: FaultsCfg(spec={"gremlins": 1}), "unknown fault spec field"),
+        (lambda: FusionCfg(max_batch_requests=0), "max_batch_requests"),
+        (lambda: SchemeCfg(name=""), "scheme.name"),
+    ],
+)
+def test_validation_fails_at_construction(build, match):
+    with pytest.raises(ValueError, match=match):
+        build()
+
+
+def test_resolve_rejects_unknown_registry_names():
+    with pytest.raises(ValueError, match="unknown system 'Frontier'"):
+        SystemCfg(name="Frontier").resolve()
+    with pytest.raises(ValueError, match="unknown workload"):
+        WorkloadCfg(name="LINPACK").resolve()
+
+
+def test_protocol_from_kwargs_maps_legacy_names():
+    cfg = ProtocolCfg.from_kwargs(rendezvous_protocol="rget", eager_threshold=0)
+    assert cfg.rendezvous == "rget"
+    assert cfg.eager_threshold == 0
+    with pytest.raises(TypeError, match="unknown protocol keyword"):
+        ProtocolCfg.from_kwargs(rendezvous="rget")
+
+
+# -- scheme overrides block ---------------------------------------------------
+
+
+def test_scheme_from_overrides_inverts_overrides_dict():
+    block = {"threshold_bytes": 512 * KiB, "capacity": 64, "name": "Tuned"}
+    cfg = SchemeCfg.from_overrides("Proposed", block)
+    assert cfg.fusion.threshold_bytes == 512 * KiB
+    assert cfg.fusion.capacity == 64
+    assert cfg.label == "Tuned"
+    assert cfg.overrides_dict() == block
+    assert SchemeCfg(name="GPU-Async").overrides_dict() == {}
+
+
+def test_scheme_fusion_configured_flags():
+    assert not SchemeCfg().fusion_configured
+    assert SchemeCfg(fusion=FusionCfg(capacity=4)).fusion_configured
+    assert SchemeCfg(label="Tuned").fusion_configured
+
+
+# -- canonical hash -----------------------------------------------------------
+
+
+def test_default_hash_matches_golden_pin():
+    assert ExperimentConfig.default().content_hash() == GOLDEN_DEFAULT_HASH
+
+
+def test_hash_changes_with_any_knob():
+    base = ExperimentConfig.default()
+    seen = {base.content_hash()}
+    for overrides in (
+        {"workload.dim": 2000},
+        {"scheme.fusion.threshold_bytes": 512 * KiB},
+        {"protocol.rendezvous": "rget"},
+        {"harness.seed": 7},
+        {"noise.cv": 0.05},
+        {"faults.preset": "light"},
+    ):
+        h = base.with_overrides(overrides).content_hash()
+        assert h not in seen, overrides
+        seen.add(h)
+
+
+def _hash_in_subprocess(hashseed: str) -> str:
+    src_root = pathlib.Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=str(src_root))
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.config import ExperimentConfig; "
+            "print(ExperimentConfig.default().content_hash())",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout.strip()
+
+
+def test_hash_stable_across_processes_and_hashseeds():
+    assert _hash_in_subprocess("0") == GOLDEN_DEFAULT_HASH
+    assert _hash_in_subprocess("12345") == GOLDEN_DEFAULT_HASH
+
+
+# -- diff ---------------------------------------------------------------------
+
+
+def test_diff_reports_dotted_paths():
+    a = ExperimentConfig.default()
+    b = a.with_overrides(
+        {"workload.dim": 2000, "scheme.fusion.capacity": 64}
+    )
+    assert a.diff(a) == {}
+    assert a.diff(b) == {
+        "workload.dim": (1000, 2000),
+        "scheme.fusion.capacity": (None, 64),
+    }
+
+
+# -- the sweep cache key derives from the config hash -------------------------
+
+
+def test_cache_key_tracks_config_hash():
+    spec = ExperimentSpec("fig09", "Proposed/1000", dim=1000)
+    same = ExperimentSpec("fig09", "Proposed/1000", dim=1000)
+    other_cfg = ExperimentSpec("fig09", "Proposed/1000", dim=2000)
+    other_id = ExperimentSpec("fig09", "Proposed/2000", dim=1000)
+    assert spec.cache_key("s") == same.cache_key("s")
+    assert spec.cache_key("s") != other_cfg.cache_key("s")
+    assert spec.cache_key("s") != other_id.cache_key("s")
+    assert spec.cache_key("s") != spec.cache_key("t")

@@ -348,10 +348,28 @@ def test_make_scheme_factory_with_overrides(env):
     assert len(scheme.streams) == 2
 
 
-def test_make_scheme_factory_rejects_alias_overrides():
+def test_make_scheme_factory_fusion_override_builds_fusion_scheme(env):
+    """A fusion knob on 'Proposed' routes to KernelFusionScheme (the
+    same rule the sweep engine's config blocks follow), instead of the
+    old alias-override rejection."""
+    from repro.core.framework import KernelFusionScheme
+
+    _sim, site = env
     factory = make_scheme_factory("Proposed", capacity=4)
-    with pytest.raises(ValueError):
-        factory(None, Trace())
+    scheme = factory(site, Trace())
+    assert isinstance(scheme, KernelFusionScheme)
+    assert scheme.scheduler.request_list.capacity == 4
+
+
+def test_make_scheme_factory_rejects_alias_overrides():
+    # Eager rejection, at factory-build time — not at first call.
+    with pytest.raises(ValueError, match="aliased scheme 'SpectrumMPI'"):
+        make_scheme_factory("SpectrumMPI", per_copy_factor=0.5)
+
+
+def test_make_scheme_factory_rejects_unknown_option():
+    with pytest.raises(ValueError, match="'num_streamz' for scheme 'GPU-Async'"):
+        make_scheme_factory("GPU-Async", num_streamz=2)
 
 
 def test_capabilities_table1_rows():
